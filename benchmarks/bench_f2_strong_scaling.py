@@ -1,0 +1,66 @@
+"""F2 — strong scaling: fixed global batch, growing node count.
+
+Paper claim (reconstructed): step time drops with node count until the
+per-node work is too small to amortize communication — the classic strong-
+scaling knee. Projected with the analytic model; measured at small scale
+with simmpi.
+"""
+
+from repro.hardware import laptop_machine, sunway_machine
+from repro.models import bagualu_14_5t, tiny_config
+from repro.parallel import TrainingRunConfig, run_distributed_training
+from repro.perf import strong_scaling_rows
+from repro.network import sunway_network
+
+
+def test_f2_projected_strong_scaling(benchmark, report):
+    cfg = bagualu_14_5t()
+    machine = sunway_machine(96_000)
+
+    def sweep():
+        return strong_scaling_rows(
+            cfg, machine, [1024, 4096, 16384, 65536], ep_size=1024,
+            global_batch_tokens=2048 * 65536, seq_len=2048,
+        )
+
+    rows = benchmark(sweep)
+    pretty = [
+        {
+            "nodes": int(r["nodes"]),
+            "step_time_s": round(r["step_time_s"], 2),
+            "speedup_vs_linear": round(r["speedup_vs_linear"], 3),
+        }
+        for r in rows
+    ]
+    report("f2_projected", "F2a: projected strong scaling (14.5T, fixed batch)", pretty)
+
+    times = [r["step_time_s"] for r in rows]
+    assert all(a > b for a, b in zip(times, times[1:])), "more nodes must be faster"
+    # Efficiency at the tail is below the head: the knee exists.
+    assert rows[-1]["speedup_vs_linear"] <= rows[0]["speedup_vs_linear"] + 1e-9
+
+
+def test_f2_measured_strong_scaling(benchmark, report):
+    cfg = tiny_config(num_experts=16)
+    global_sequences = 32
+
+    def measure():
+        rows = []
+        for w in [2, 4, 8, 16]:
+            per_rank = max(global_sequences // w, 1)
+            res = run_distributed_training(
+                TrainingRunConfig(
+                    model=cfg, world_size=w, ep_size=w, num_steps=2,
+                    batch_size=per_rank, seq_len=16,
+                ),
+                network=sunway_network(w, supernode_size=8),
+                machine=laptop_machine(w),
+            )
+            rows.append({"ranks": w, "step_time_s": res.step_time})
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("f2_measured", "F2b: measured strong scaling (simmpi, fixed global batch)", rows)
+
+    # Shape: the first doubling helps; the knee appears by the tail.
+    assert rows[1]["step_time_s"] < rows[0]["step_time_s"]

@@ -1,0 +1,128 @@
+"""F6 — convergence curves: mixed precision vs fp32; MoE vs dense.
+
+Paper claims (reconstructed):
+
+* mixed-precision training with dynamic loss scaling follows the fp32
+  loss curve (the correctness side of the 2x throughput);
+* at matched *active* compute per token, the MoE model reaches a lower
+  loss than the dense backbone alone (the capacity benefit of experts).
+"""
+
+import numpy as np
+
+from repro.amp import DynamicLossScaler, cast_model
+from repro.data import ShardedLoader, SyntheticCorpus
+from repro.models import build_model, tiny_config
+from repro.train import Adam, ConstantLR, Trainer
+
+STEPS = 60
+LR = 3e-3
+
+
+def train_curve(cfg, dtype="fp32", seed=1, steps=STEPS):
+    model = build_model(cfg, seed=seed)
+    scaler = None
+    if dtype == "fp16":
+        cast_model(model, "fp16")
+        scaler = DynamicLossScaler(init_scale=2.0**10, growth_interval=25)
+    corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9, seed=5)
+    loader = ShardedLoader(corpus, batch_size=8, seq_len=16)
+    trainer = Trainer(model, Adam(model.parameters(), lr=LR),
+                      schedule=ConstantLR(LR), scaler=scaler, grad_clip=1.0)
+    return [r.loss for r in trainer.fit(loader, steps)]
+
+
+def test_f6_fp16_tracks_fp32(benchmark, report):
+    cfg = tiny_config()
+
+    def run():
+        fp32 = train_curve(cfg, "fp32")
+        fp16 = train_curve(cfg, "fp16")
+        rows = []
+        for s in (0, 14, 29, 44, STEPS - 1):
+            rows.append(
+                {
+                    "step": s,
+                    "fp32_loss": round(fp32[s], 4),
+                    "fp16_loss": round(fp16[s], 4),
+                    "abs_diff": round(abs(fp32[s] - fp16[s]), 4),
+                }
+            )
+        return rows, fp32, fp16
+
+    rows, fp32, fp16 = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("f6_precision", "F6a: fp32 vs mixed-precision loss curve", rows)
+
+    # Shape: curves overlap (max gap small) and both converge.
+    assert max(r["abs_diff"] for r in rows) < 0.15
+    assert fp32[-1] < fp32[0] * 0.8
+    assert fp16[-1] < fp16[0] * 0.8
+
+
+def test_f6_moe_matches_dense_at_equal_active_compute(benchmark, report):
+    """MoE (8 experts, top-1) vs dense with the same active FLOPs/token.
+
+    The relevant premise at laptop scale: MoE holds many times the
+    parameters *without* a quality penalty at equal active compute. (The
+    paper's quality *advantage* needs corpus/model scale beyond this
+    substrate — recorded as a known deviation in EXPERIMENTS.md.)
+    """
+
+    moe_cfg = tiny_config(num_experts=8, aux_weight=1e-2)
+    dense_cfg = tiny_config(num_experts=1)  # single expert == dense FFN
+
+    def run():
+        moe = train_curve(moe_cfg, seed=2, steps=80)
+        dense = train_curve(dense_cfg, seed=2, steps=80)
+        rows = [
+            {
+                "model": "dense (1 expert)",
+                "params": dense_cfg.total_params,
+                "final_loss": round(np.mean(dense[-10:]), 4),
+            },
+            {
+                "model": "MoE (8 experts, top-1)",
+                "params": moe_cfg.total_params,
+                "final_loss": round(np.mean(moe[-10:]), 4),
+            },
+        ]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("f6_moe_vs_dense", "F6b: MoE vs dense at equal active compute", rows)
+
+    dense_loss = rows[0]["final_loss"]
+    moe_loss = rows[1]["final_loss"]
+    # Shape: MoE matches dense within noise at equal active compute...
+    assert moe_loss <= dense_loss + 0.1
+    # ...while holding several times the parameters.
+    assert rows[1]["params"] > 2 * rows[0]["params"]
+
+
+def test_f6_loss_scale_dynamics(benchmark, report):
+    """The scaler finds a stable scale without diverging training."""
+    cfg = tiny_config()
+
+    def run():
+        model = cast_model(build_model(cfg, seed=3), "fp16")
+        scaler = DynamicLossScaler(init_scale=2.0**20, growth_interval=30)
+        corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9, seed=5)
+        loader = ShardedLoader(corpus, batch_size=8, seq_len=16)
+        trainer = Trainer(model, Adam(model.parameters(), lr=LR), scaler=scaler)
+        hist = trainer.fit(loader, 50)
+        skipped = sum(r.skipped for r in hist)
+        return [
+            {
+                "initial_scale": 2.0**20,
+                "final_scale": scaler.scale,
+                "overflows": scaler.overflow_count,
+                "skipped_steps": skipped,
+                "final_loss": round(hist[-1].loss, 4),
+            }
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("f6_scaler", "F6c: dynamic loss-scale trajectory (fp16)", rows)
+    r = rows[0]
+    assert np.isfinite(r["final_loss"])
+    assert r["skipped_steps"] < 25  # training made progress

@@ -1,0 +1,111 @@
+"""F9 (ablation) — EP-group placement: inside vs across supernodes.
+
+The MoDa placement rule confines each expert-parallel group to one
+supernode so token alltoalls ride the fast intra links. This ablation
+measures the same training program with the rank->node mapping permuted
+(EP groups strided *across* supernodes) — everything else identical — and
+through the analytic model at full scale.
+"""
+
+import numpy as np
+
+from repro.models import tiny_config
+from repro.network import NetworkModel, sunway_topology
+from repro.parallel import TrainingRunConfig, run_distributed_training
+from repro.utils import format_time
+
+WORLD = 16
+SUPERNODE = 4
+EP = 4
+CFG = tiny_config(num_experts=16)
+
+
+def _network(strided: bool) -> NetworkModel:
+    topo = sunway_topology(WORLD, supernode_size=SUPERNODE)
+    if not strided:
+        return NetworkModel(topology=topo)
+    num_groups = WORLD // SUPERNODE
+
+    def node_of_rank(rank: int) -> int:
+        # Consecutive ranks land in *different* supernodes (round-robin),
+        # so every EP group of 4 spans all 4 supernodes.
+        return (rank % num_groups) * SUPERNODE + rank // num_groups
+
+    return NetworkModel(topology=topo, node_of_rank=node_of_rank)
+
+
+def _measure(strided: bool):
+    return run_distributed_training(
+        TrainingRunConfig(
+            model=CFG, world_size=WORLD, ep_size=EP, num_steps=3,
+            batch_size=2, seq_len=8,
+            alltoall_algorithm="flat",  # isolate pure placement effects
+            model_compute_time=False,
+        ),
+        network=_network(strided),
+    )
+
+
+def test_f9_placement_measured(benchmark, report):
+    def run():
+        inside = _measure(strided=False)
+        across = _measure(strided=True)
+        return [
+            {
+                "placement": "EP inside supernode (MoDa rule)",
+                "comm_per_step": format_time(inside.step_time),
+                "seconds": inside.step_time,
+            },
+            {
+                "placement": "EP across supernodes (strided)",
+                "comm_per_step": format_time(across.step_time),
+                "seconds": across.step_time,
+            },
+        ], inside.losses, across.losses
+
+    rows, l_in, l_across = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("f9_placement", "F9: EP-group placement ablation (16 ranks)", rows)
+
+    # Shape: confining EP groups to supernodes is faster; numerics equal.
+    assert rows[0]["seconds"] < rows[1]["seconds"]
+    assert np.allclose(l_in, l_across, atol=1e-5)
+
+
+def test_f9_placement_projected(benchmark, report):
+    """Same ablation through the analytic model at 4096 nodes."""
+    from repro.models import bagualu_14_5t
+    from repro.perf import ParallelPlan, StepModel
+    from repro.hardware import sunway_machine
+
+    cfg = bagualu_14_5t()
+    nodes = 4096
+    topo = sunway_topology(nodes, supernode_size=256)
+    machine = sunway_machine(nodes)
+
+    def run():
+        rows = []
+        for label, mapping in [
+            ("inside supernode", None),
+            (
+                "across supernodes",
+                lambda r: (r % 16) * 256 + r // 16,
+            ),
+        ]:
+            net = NetworkModel(topology=topo, node_of_rank=mapping)
+            sm = StepModel(cfg, machine, net)
+            plan = ParallelPlan(num_nodes=nodes, ep_size=256, micro_batch=8,
+                                seq_len=2048)
+            bd = sm.step_breakdown(plan)
+            rows.append(
+                {
+                    "placement": label,
+                    "alltoall": format_time(bd.alltoall),
+                    "step_total": format_time(bd.total),
+                    "seconds": bd.alltoall,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report("f9_projected", "F9b: projected placement effect (4096 nodes, ep=256)", rows)
+    assert rows[0]["seconds"] < rows[1]["seconds"]

@@ -1,0 +1,71 @@
+"""T1 — brain-scale model configuration table.
+
+Paper claim (reconstructed): BaGuaLu trains MoE transformers at 1.93 T,
+14.5 T, and 174 T parameters — the largest matching the synapse count of a
+human brain. This bench regenerates the configuration table: dimensions,
+expert counts, total vs active parameters, and per-step FLOPs per token.
+"""
+
+from repro.models import BRAIN_SCALE_CONFIGS, tiny_config
+from repro.perf import step_flops_per_token
+from repro.utils import format_count
+
+
+def build_rows():
+    rows = []
+    for label, factory in BRAIN_SCALE_CONFIGS.items():
+        cfg = factory()
+        rows.append(
+            {
+                "model": cfg.name,
+                "layers": cfg.n_layers,
+                "d_model": cfg.d_model,
+                "d_ff": cfg.d_ff,
+                "experts/layer": cfg.num_experts,
+                "total_params": format_count(cfg.total_params),
+                "active/token": format_count(cfg.active_params_per_token),
+                "step_flops/token": format_count(step_flops_per_token(cfg)),
+            }
+        )
+    return rows
+
+
+def test_t1_model_configs(benchmark, report):
+    rows = benchmark(build_rows)
+    report("t1_model_configs", "T1: brain-scale model configurations", rows)
+
+    totals = {r["model"]: r["total_params"] for r in rows}
+    # The headline counts (names are the ground truth being matched).
+    assert totals["bagualu-1.93T"].endswith("T")
+    assert totals["bagualu-14.5T"] == "14.50T"
+    assert totals["bagualu-174T"] == "173.99T"
+
+
+def test_t1_sparsity_ratio(benchmark, report):
+    """MoE sparsity: active params per token vs total (the efficiency
+    premise that makes brain scale trainable)."""
+
+    def rows():
+        out = []
+        for label, factory in BRAIN_SCALE_CONFIGS.items():
+            cfg = factory()
+            out.append(
+                {
+                    "model": cfg.name,
+                    "total/active": round(cfg.total_params / cfg.active_params_per_token, 1),
+                }
+            )
+        return out
+
+    data = benchmark(rows)
+    report("t1_sparsity", "T1b: MoE sparsity (total / active parameters)", data)
+    assert all(r["total/active"] > 100 for r in data)
+
+
+def test_t1_tiny_config_instantiable(benchmark):
+    """The laptop-scale config instantiates and matches its analytic count."""
+    from repro.models import build_model
+
+    cfg = tiny_config()
+    model = benchmark(lambda: build_model(cfg))
+    assert model.num_parameters() == cfg.total_params

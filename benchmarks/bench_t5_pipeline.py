@@ -1,0 +1,106 @@
+"""T5 (extension) — pipeline parallelism: bubble overhead vs microbatches.
+
+The GPipe bubble idles (S-1)/(M+S-1) of the step. This bench measures the
+effect through the real runtime (virtual-clock timing of actual pipeline
+p2p schedules) and checks it against the analytic formula — the third
+parallel axis on top of the paper's MoDa.
+"""
+
+import numpy as np
+
+from repro.hardware import laptop_machine
+from repro.models import tiny_config
+from repro.network import flat_network
+from repro.parallel import GPipeRunner, pipeline_bubble_fraction
+from repro.perf import ComputeTimer
+from repro.simmpi import run_spmd
+
+CFG = tiny_config(n_layers=4, aux_weight=0.0)
+STAGES = 4
+BATCH = 8
+
+
+def _pipeline_time(num_microbatches: int) -> float:
+    """Simulated time of one GPipe step with modelled per-stage compute."""
+    tokens = np.random.default_rng(0).integers(0, CFG.vocab_size, size=(BATCH, 8))
+    machine = laptop_machine(STAGES)
+    timer = ComputeTimer(CFG, machine, seq_len=8)
+    per_stage_tokens = BATCH * 8 // num_microbatches  # tokens per microbatch
+
+    def program(comm):
+        runner = GPipeRunner(CFG, comm, num_microbatches=num_microbatches, seed=1)
+        # Model compute: each stage holds 1/STAGES of the layers, so each
+        # microbatch costs roughly dense_time/STAGES on this stage. The
+        # p2p dependencies then produce the fill/drain bubble naturally.
+        orig = runner.stage.forward
+
+        def timed_forward(x):
+            comm.advance(timer.dense_step_time(per_stage_tokens) / STAGES)
+            return orig(x)
+
+        runner.stage.forward = timed_forward
+        runner.train_step(tokens, tokens)
+        return comm.clock
+
+    res = run_spmd(program, STAGES, network=flat_network(STAGES), timeout=300)
+    return res.simulated_time
+
+
+def test_t5_bubble_vs_microbatches(benchmark, report):
+    def measure():
+        rows = []
+        base = None
+        for m in (1, 2, 4, 8):
+            t = _pipeline_time(m)
+            if base is None:
+                base = t
+            rows.append(
+                {
+                    "microbatches": m,
+                    "step_time_s": t,
+                    "vs_m1": round(t / base, 3),
+                    "analytic_bubble": round(pipeline_bubble_fraction(STAGES, m), 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("t5_pipeline", "T5: GPipe step time vs microbatch count (4 stages)", rows)
+
+    times = [r["step_time_s"] for r in rows]
+    # Shape: more microbatches shrink the bubble -> faster steps.
+    assert times[-1] < times[0]
+    bubbles = [r["analytic_bubble"] for r in rows]
+    assert all(a > b for a, b in zip(bubbles, bubbles[1:]))
+
+
+def test_t5_stage_memory_partition(benchmark, report):
+    """Each stage holds ~1/S of the parameters (the memory win)."""
+    from repro.parallel import PipelineStage
+
+    def measure():
+        full = sum(
+            PipelineStage(CFG, 1, 0, seed=0).num_parameters() for _ in range(1)
+        )
+        rows = []
+        for s_count in (1, 2, 4):
+            biggest = max(
+                PipelineStage(CFG, s_count, s, seed=0).num_parameters()
+                for s in range(s_count)
+            )
+            rows.append(
+                {
+                    "stages": s_count,
+                    "largest_stage_params": biggest,
+                    "fraction_of_model": round(biggest / full, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark(measure)
+    report("t5_memory", "T5b: largest-stage parameter fraction", rows)
+    fracs = [r["fraction_of_model"] for r in rows]
+    assert fracs[0] == 1.0
+    assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+    # Embeddings/head skew the split; still a clear reduction by 4 stages.
+    assert fracs[-1] < 0.75

@@ -1,0 +1,54 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the reconstructed
+BaGuaLu evaluation (see DESIGN.md section 4). Besides pytest-benchmark's
+timing, every bench emits its paper-style rows through the ``report``
+fixture, which prints them and persists them under ``benchmarks/out/`` so
+EXPERIMENTS.md can cite the exact numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def format_table(title: str, rows: list[dict]) -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)\n"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r[c]) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:,.3f}"
+    return str(v)
+
+
+@pytest.fixture
+def report():
+    """Print + persist a paper-style table: ``report(name, title, rows)``."""
+
+    def _report(name: str, title: str, rows: list[dict]) -> None:
+        text = format_table(title, rows)
+        print("\n" + text)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text)
+
+    return _report

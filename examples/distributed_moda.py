@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""MoDa hybrid parallel training on a simulated 8-node Sunway machine.
+
+Launches an SPMD program on 8 simulated MPI ranks (2 supernodes of 4):
+experts are sharded over expert-parallel groups of 4 (one per supernode),
+dense parameters are data-parallel across all 8. Every communication call
+advances a virtual clock using the topology cost model, so the run reports
+*simulated* step time and traffic alongside the (exactly synchronous) loss.
+
+Run:  python examples/distributed_moda.py
+"""
+
+import numpy as np
+
+from repro.models import tiny_config
+from repro.network import sunway_network
+from repro.parallel import TrainingRunConfig, run_distributed_training
+from repro.utils import format_bytes, format_time
+
+WORLD = 8
+EP = 4
+
+
+def main() -> None:
+    cfg = tiny_config(num_experts=8, gate="balanced")
+    net = sunway_network(WORLD, supernode_size=4)
+
+    run_cfg = TrainingRunConfig(
+        model=cfg,
+        world_size=WORLD,
+        ep_size=EP,
+        num_steps=10,
+        batch_size=4,
+        seq_len=16,
+        alltoall_algorithm="hierarchical",
+        allreduce_algorithm="hierarchical",
+        mixed_precision=True,
+    )
+    print(f"launching {WORLD} ranks (EP groups of {EP}, {WORLD // EP} expert replicas), "
+          f"mixed precision, balanced gate")
+    result = run_distributed_training(run_cfg, network=net)
+
+    print("\nglobal loss per step:")
+    for i, loss in enumerate(result.losses):
+        print(f"  step {i:2d}  loss {loss:.4f}")
+
+    print(f"\nsimulated step time : {format_time(result.step_time)}")
+    print(f"expert load imbalance: {result.load_imbalance:.2f} (max/mean)")
+    print(f"total traffic        : {format_bytes(result.traffic['total_bytes'])}")
+    print(f"collective calls     : {result.traffic['collective_calls']}")
+
+    assert result.losses[-1] < result.losses[0]
+    print("\nOK — loss decreased and every rank agreed on the trajectory")
+
+
+if __name__ == "__main__":
+    main()

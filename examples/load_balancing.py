@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Compare gating strategies on a Zipf-distributed token stream.
+
+Natural-language tokens are Zipf-distributed, so content-based top-k
+routing concentrates load on a few experts; in synchronous expert
+parallelism the most-loaded expert paces everyone. This example routes the
+same 4,096 tokens through each gate and translates the measured imbalance
+into a projected full-machine step time.
+
+Run:  python examples/load_balancing.py
+"""
+
+import numpy as np
+
+from repro.data import SyntheticCorpus
+from repro.hardware import sunway_machine
+from repro.models import Embedding, Linear, bagualu_14_5t
+from repro.moe import load_stats, make_gate
+from repro.network import sunway_network
+from repro.perf import ParallelPlan, StepModel
+
+VOCAB, D, EXPERTS, TOKENS = 512, 32, 32, 4096
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    corpus = SyntheticCorpus(vocab_size=VOCAB, zipf_alpha=1.1, seed=0)
+    tokens = corpus.sample(TOKENS)
+    emb = Embedding(VOCAB, D, rng)
+    router = Linear(D, EXPERTS, rng, bias=False)
+    logits = router(emb(tokens.reshape(1, -1)).reshape(TOKENS, D))
+
+    sm = StepModel(bagualu_14_5t(), sunway_machine(96_000), sunway_network(96_000))
+
+    print(f"{TOKENS} Zipf tokens over {EXPERTS} experts\n")
+    print(f"{'gate':<12} {'max':>5} {'mean':>7} {'imbalance':>10} {'proj. step @96k':>16}")
+    for name in ("topk", "noisy-topk", "balanced", "random"):
+        gate = make_gate(name, EXPERTS, top_k=1)
+        out = gate(logits, np.random.default_rng(1))
+        stats = load_stats(out.load)
+        plan = ParallelPlan(
+            num_nodes=96_000, ep_size=96_000, micro_batch=8, seq_len=2048,
+            load_imbalance=float(stats.imbalance),
+        )
+        print(f"{name:<12} {stats.max:5.0f} {stats.mean:7.1f} "
+              f"{stats.imbalance:10.2f} {sm.step_time(plan):13.1f} s")
+
+    print("\nbalanced gating keeps the load bound near 1.0, which is what "
+          "lets 96,000 nodes run in lock-step (the paper's SWIPE-style "
+          "balanced routing).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Pipeline-parallel training (GPipe) on simulated ranks.
+
+Splits a 4-layer MoE transformer into 2 stages across 2 simulated ranks
+and trains with 4 microbatches per step. Demonstrates the third parallel
+axis beyond the paper's MoDa (data x expert): stage boundaries exchange
+activations/gradients point-to-point, and the classic pipeline *bubble*
+shows up directly in the virtual-clock timing.
+
+Run:  python examples/pipeline_parallel.py
+"""
+
+import numpy as np
+
+from repro.data import ShardedLoader, SyntheticCorpus
+from repro.models import tiny_config
+from repro.network import flat_network
+from repro.parallel import GPipeRunner, pipeline_bubble_fraction
+from repro.simmpi import run_spmd
+from repro.train import Adam
+
+STAGES = 2
+MICROBATCHES = 4
+STEPS = 10
+CFG = tiny_config(n_layers=4)
+
+
+def rank_program(comm):
+    runner = GPipeRunner(CFG, comm, num_microbatches=MICROBATCHES, seed=0)
+    corpus = SyntheticCorpus(vocab_size=CFG.vocab_size, predictability=0.9, seed=1)
+    loader = ShardedLoader(corpus, batch_size=8, seq_len=16)
+    optimizer = Adam(runner.stage.parameters(), lr=3e-3)
+
+    losses = []
+    for step in range(STEPS):
+        batch = loader.get_batch(step)
+        runner.stage.zero_grad()
+        losses.append(runner.train_step(batch.tokens, batch.targets))
+        optimizer.step()
+    return {
+        "losses": losses,
+        "stage_params": runner.stage.num_parameters(),
+        "role": "first" if runner.is_first else "last",
+    }
+
+
+def main() -> None:
+    print(f"GPipe: {CFG.n_layers} layers over {STAGES} stages, "
+          f"{MICROBATCHES} microbatches "
+          f"(bubble {pipeline_bubble_fraction(STAGES, MICROBATCHES):.0%})")
+    res = run_spmd(rank_program, STAGES, network=flat_network(STAGES), timeout=300)
+
+    for rank, info in enumerate(res.returns):
+        print(f"  stage {rank} ({info['role']}): "
+              f"{info['stage_params']:,} parameters")
+    losses = res.returns[0]["losses"]
+    print("loss per step:", " ".join(f"{v:.3f}" for v in losses))
+    print(f"simulated time: {res.simulated_time * 1e3:.3f} ms "
+          f"({res.stats.p2p_messages} boundary messages)")
+
+    assert losses[-1] < losses[0]
+    assert np.allclose(res.returns[0]["losses"], res.returns[1]["losses"])
+    print("OK — stages agree and the loss decreased")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in offline environments that lack the ``wheel``
+package (``python setup.py develop`` / ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Laptop-scale reproduction of BaGuaLu (PPoPP'22): brain-scale MoE training on a simulated Sunway-class machine",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

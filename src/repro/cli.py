@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``train``       single-process training on the synthetic corpus
+``distributed`` simulated multi-rank MoDa training with virtual timing
+``project``     brain-scale performance/memory projection
+``configs``     print the model configuration table
+
+Every command prints human-readable output and (optionally) logs metrics
+to a JSONL/CSV file via ``--metrics``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.data import ShardedLoader, SyntheticCorpus
+from repro.models import (
+    BRAIN_SCALE_CONFIGS,
+    build_model,
+    generate,
+    small_config,
+    tiny_config,
+)
+from repro.train import Adam, Trainer, WarmupCosineLR
+from repro.train.metrics import MetricsLogger
+from repro.utils import format_bytes, format_count, format_flops, format_time
+
+__all__ = ["main", "build_parser"]
+
+_CONFIGS = {"tiny": tiny_config, "small": small_config}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BaGuaLu reproduction: MoE training on a simulated Sunway",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="single-process training run")
+    p_train.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
+    p_train.add_argument("--steps", type=int, default=100)
+    p_train.add_argument("--batch-size", type=int, default=8)
+    p_train.add_argument("--seq-len", type=int, default=16)
+    p_train.add_argument("--lr", type=float, default=3e-3)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--experts", type=int, default=None)
+    p_train.add_argument("--gate", choices=["topk", "noisy-topk", "balanced", "random"],
+                         default=None)
+    p_train.add_argument("--fp16", action="store_true", help="mixed precision")
+    p_train.add_argument("--metrics", default=None, help="JSONL/CSV metrics file")
+    p_train.add_argument("--sample", type=int, default=0,
+                         help="generate N tokens after training")
+
+    p_dist = sub.add_parser("distributed", help="simulated MoDa training")
+    p_dist.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
+    p_dist.add_argument("--world", type=int, default=8)
+    p_dist.add_argument("--ep", type=int, default=4)
+    p_dist.add_argument("--steps", type=int, default=5)
+    p_dist.add_argument("--batch-size", type=int, default=4)
+    p_dist.add_argument("--seq-len", type=int, default=16)
+    p_dist.add_argument("--supernode", type=int, default=256)
+    p_dist.add_argument("--alltoall", choices=["flat", "hierarchical"], default=None)
+    p_dist.add_argument("--allreduce", choices=["ring", "tree", "hierarchical"],
+                        default=None)
+    p_dist.add_argument("--fp16", action="store_true")
+    p_dist.add_argument("--seed", type=int, default=0)
+    p_dist.add_argument("--metrics", default=None)
+
+    p_3d = sub.add_parser("3d", help="simulated pipe x data x expert training")
+    p_3d.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
+    p_3d.add_argument("--world", type=int, default=8)
+    p_3d.add_argument("--pipe", type=int, default=2)
+    p_3d.add_argument("--ep", type=int, default=2)
+    p_3d.add_argument("--steps", type=int, default=4)
+    p_3d.add_argument("--microbatches", type=int, default=2)
+    p_3d.add_argument("--batch-size", type=int, default=4)
+    p_3d.add_argument("--seq-len", type=int, default=16)
+    p_3d.add_argument("--seed", type=int, default=0)
+
+    p_proj = sub.add_parser("project", help="brain-scale projection")
+    p_proj.add_argument("--model", choices=sorted(BRAIN_SCALE_CONFIGS), default="14.5T")
+    p_proj.add_argument("--nodes", type=int, default=96_000)
+    p_proj.add_argument("--micro-batch", type=int, default=8)
+    p_proj.add_argument("--zero", type=int, default=64)
+    p_proj.add_argument("--recompute", action="store_true")
+    p_proj.add_argument("--imbalance", type=float, default=1.05)
+
+    sub.add_parser("configs", help="print the model configuration table")
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    cfg = _CONFIGS[args.config]()
+    overrides = {}
+    if args.experts is not None:
+        overrides["num_experts"] = args.experts
+    if args.gate is not None:
+        overrides["gate"] = args.gate
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+    model = build_model(cfg, seed=args.seed)
+    scaler = None
+    if args.fp16:
+        from repro.amp import DynamicLossScaler, cast_model
+
+        cast_model(model, "fp16")
+        scaler = DynamicLossScaler(init_scale=2.0**12, growth_interval=50)
+    print(f"training {cfg.name}: {format_count(model.num_parameters())} params, "
+          f"{cfg.num_experts} experts" + (" [fp16]" if args.fp16 else ""))
+
+    corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9, seed=args.seed)
+    loader = ShardedLoader(corpus, args.batch_size, args.seq_len)
+    trainer = Trainer(
+        model,
+        Adam(model.parameters(), lr=args.lr),
+        schedule=WarmupCosineLR(args.lr, max(args.steps // 10, 1), args.steps),
+        scaler=scaler,
+        grad_clip=1.0,
+    )
+    logger = MetricsLogger(args.metrics) if args.metrics else None
+    try:
+        history = trainer.fit(
+            loader,
+            args.steps,
+            log_every=max(args.steps // 5, 1),
+            on_step=(lambda r: logger.log(
+                {"step": r.step, "loss": r.loss, "lr": r.lr, "skipped": r.skipped}
+            )) if logger else None,
+        )
+    finally:
+        if logger:
+            logger.close()
+    print(f"final loss: {history[-1].loss:.4f} (from {history[0].loss:.4f})")
+
+    if args.sample > 0:
+        prompt = np.array([[corpus.sample(1)[0]]])
+        out = generate(model, prompt, args.sample, greedy=True)
+        print("greedy sample:", out[0].tolist())
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from repro.network import sunway_network
+    from repro.parallel import TrainingRunConfig, run_distributed_training
+
+    cfg = _CONFIGS[args.config]()
+    if cfg.num_experts % args.ep != 0:
+        cfg = cfg.scaled(num_experts=args.ep * max(cfg.num_experts // args.ep, 1))
+    run_cfg = TrainingRunConfig(
+        model=cfg,
+        world_size=args.world,
+        ep_size=args.ep,
+        num_steps=args.steps,
+        batch_size=args.batch_size,
+        seq_len=args.seq_len,
+        alltoall_algorithm=args.alltoall,
+        allreduce_algorithm=args.allreduce,
+        mixed_precision=args.fp16,
+        seed=args.seed,
+    )
+    net = sunway_network(args.world, supernode_size=args.supernode)
+    print(f"launching {args.world} simulated ranks (ep={args.ep}, "
+          f"supernode={args.supernode})")
+    result = run_distributed_training(run_cfg, network=net)
+    logger = MetricsLogger(args.metrics) if args.metrics else None
+    try:
+        for step, loss in enumerate(result.losses):
+            print(f"  step {step:3d}  global loss {loss:.4f}")
+            if logger:
+                logger.log({"step": step, "loss": loss})
+    finally:
+        if logger:
+            logger.close()
+    print(f"simulated step time: {format_time(result.step_time)}")
+    print(f"load imbalance     : {result.load_imbalance:.2f}")
+    print(f"traffic            : {format_bytes(result.traffic['total_bytes'])}")
+    return 0
+
+
+def _cmd_3d(args: argparse.Namespace) -> int:
+    from repro.data import ShardedLoader
+    from repro.network import sunway_network
+    from repro.parallel import Trainer3D, build_groups3d
+    from repro.simmpi import run_spmd
+    from repro.train import Adam
+
+    cfg = _CONFIGS[args.config]()
+    if cfg.num_experts % args.ep != 0:
+        cfg = cfg.scaled(num_experts=args.ep * max(cfg.num_experts // args.ep, 1))
+
+    def program(comm):
+        groups = build_groups3d(comm, pipe_size=args.pipe, ep_size=args.ep)
+        trainer = Trainer3D(cfg, groups, num_microbatches=args.microbatches,
+                            seed=args.seed)
+        trainer.attach_optimizer(Adam(trainer.stage.parameters(), lr=3e-3))
+        corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9,
+                                 seed=args.seed)
+        loader = ShardedLoader(corpus, args.batch_size, args.seq_len,
+                               dp_rank=groups.pipeline_id,
+                               dp_size=groups.grid.plane_size)
+        return [trainer.train_step(loader.get_batch(s)).global_loss
+                for s in range(args.steps)]
+
+    print(f"3D grid: pipe={args.pipe} x dp="
+          f"{args.world // args.pipe // args.ep} x ep={args.ep} "
+          f"on {args.world} simulated ranks")
+    res = run_spmd(program, args.world, network=sunway_network(args.world),
+                   timeout=600)
+    for step, loss in enumerate(res.returns[0]):
+        print(f"  step {step:3d}  global loss {loss:.4f}")
+    print(f"simulated time: {format_time(res.simulated_time)}")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.hardware import SUNWAY_NODE, sunway_machine
+    from repro.network import sunway_network
+    from repro.perf import ParallelPlan, StepModel, node_memory
+
+    cfg = BRAIN_SCALE_CONFIGS[args.model]()
+    instances = cfg.num_moe_layers * cfg.num_experts
+    ep = args.nodes
+    while ep > instances or args.nodes % ep != 0:
+        ep //= 2
+    plan = ParallelPlan(
+        num_nodes=args.nodes, ep_size=ep, micro_batch=args.micro_batch,
+        seq_len=2048, zero_shards=args.zero, recompute=args.recompute,
+        load_imbalance=args.imbalance,
+    )
+    machine = sunway_machine(args.nodes)
+    sm = StepModel(cfg, machine, sunway_network(args.nodes))
+    mem = node_memory(cfg, plan)
+    bd = sm.step_breakdown(plan)
+    print(f"{cfg.name} on {args.nodes:,} nodes "
+          f"({format_count(machine.total_cores)} cores)")
+    print(f"  total params : {format_count(cfg.total_params)}")
+    print(f"  node memory  : {format_bytes(mem.total)} "
+          f"(budget {format_bytes(SUNWAY_NODE.memory_bytes)})")
+    print(f"  step time    : {format_time(bd.total)} "
+          f"(compute {bd.compute / bd.total:.0%})")
+    print(f"  sustained    : {format_flops(sm.achieved_flops(plan))}")
+    print(f"  tokens/s     : {format_count(sm.tokens_per_second(plan))}")
+    return 0
+
+
+def _cmd_configs(_args: argparse.Namespace) -> int:
+    print(f"{'model':<16} {'layers':>6} {'d_model':>8} {'experts':>8} "
+          f"{'total':>10} {'active/tok':>11}")
+    for factory in list(_CONFIGS.values()) + [
+        BRAIN_SCALE_CONFIGS[k] for k in sorted(BRAIN_SCALE_CONFIGS)
+    ]:
+        cfg = factory()
+        print(f"{cfg.name:<16} {cfg.n_layers:>6} {cfg.d_model:>8} "
+              f"{cfg.num_experts:>8} {format_count(cfg.total_params):>10} "
+              f"{format_count(cfg.active_params_per_token):>11}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "distributed": _cmd_distributed,
+        "3d": _cmd_3d,
+        "project": _cmd_project,
+        "configs": _cmd_configs,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

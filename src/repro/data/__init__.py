@@ -1,0 +1,6 @@
+"""Synthetic corpus and sharded data loading."""
+
+from repro.data.corpus import SyntheticCorpus
+from repro.data.loader import Batch, ShardedLoader
+
+__all__ = ["SyntheticCorpus", "Batch", "ShardedLoader"]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. still
+propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration object was supplied."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the simulated MPI layer (bad rank, dead communicator...)."""
+
+
+class RankAbort(CommunicatorError):
+    """Raised inside a rank thread to abort the whole SPMD program."""
+
+
+class DeadlockError(CommunicatorError):
+    """The SPMD engine detected that every live rank is blocked."""
+
+
+class FaultInjected(CommunicatorError):
+    """A fault-injection plan killed a message or a rank on purpose."""
+
+
+class TopologyError(ReproError):
+    """An invalid network topology description or node id out of range."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class DtypeError(ReproError):
+    """An unsupported or inconsistent dtype was requested."""
+
+
+class OverflowDetected(ReproError):
+    """Mixed-precision training saw a non-finite gradient this step."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or mismatches the model."""
+
+
+class PartitionError(ReproError):
+    """A dataset or parameter partition request cannot be satisfied."""

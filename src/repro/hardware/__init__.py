@@ -1,0 +1,26 @@
+"""Machine models: SW26010-Pro-like processors, nodes, whole machines."""
+
+from repro.hardware.roofline import Roofline, attainable_flops, kernel_time, node_roofline
+from repro.hardware.specs import (
+    SUNWAY_NODE,
+    SW26010_PRO,
+    MachineSpec,
+    NodeSpec,
+    ProcessorSpec,
+    laptop_machine,
+    sunway_machine,
+)
+
+__all__ = [
+    "Roofline",
+    "attainable_flops",
+    "kernel_time",
+    "node_roofline",
+    "SUNWAY_NODE",
+    "SW26010_PRO",
+    "MachineSpec",
+    "NodeSpec",
+    "ProcessorSpec",
+    "laptop_machine",
+    "sunway_machine",
+]

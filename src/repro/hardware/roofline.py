@@ -1,0 +1,78 @@
+"""Roofline helper: attainable FLOP/s for a kernel on a node.
+
+``attainable = min(peak_flops, arithmetic_intensity * memory_bandwidth)``
+
+The performance model uses this to time individual operators: large matmuls
+sit on the compute roof, element-wise and embedding operators on the memory
+roof — which is why MoE models (more matmul per token at fixed activation
+traffic) utilize the machine better than equal-FLOP dense stacks of thinner
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.specs import NodeSpec
+
+__all__ = ["Roofline", "attainable_flops", "kernel_time"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A (compute roof, memory roof) pair for one node and dtype."""
+
+    peak_flops: float
+    memory_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ConfigError("roofline parameters must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (FLOP/byte) where the roofs meet."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable FLOP/s at the given arithmetic intensity."""
+        if intensity < 0:
+            raise ConfigError(f"arithmetic intensity must be >= 0, got {intensity}")
+        if intensity == 0.0:
+            return 0.0
+        return min(self.peak_flops, intensity * self.memory_bandwidth)
+
+    def time_for(self, flops: float, bytes_moved: float) -> float:
+        """Time to execute a kernel doing ``flops`` work over ``bytes_moved``.
+
+        Uses the max of compute time and memory time (perfect overlap
+        assumption), which is the standard roofline timing.
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ConfigError("flops and bytes_moved must be >= 0")
+        t_compute = flops / self.peak_flops
+        t_memory = bytes_moved / self.memory_bandwidth
+        return max(t_compute, t_memory)
+
+
+def node_roofline(node: NodeSpec, dtype: str, efficiency: float = 1.0) -> Roofline:
+    """Build a roofline for ``node`` at ``dtype`` with a sustained factor."""
+    if not 0.0 < efficiency <= 1.0:
+        raise ConfigError("efficiency must be in (0, 1]")
+    return Roofline(
+        peak_flops=node.flops(dtype) * efficiency,
+        memory_bandwidth=node.memory_bandwidth,
+    )
+
+
+def attainable_flops(node: NodeSpec, dtype: str, intensity: float) -> float:
+    """Convenience: attainable FLOP/s for a kernel of given intensity."""
+    return node_roofline(node, dtype).attainable(intensity)
+
+
+def kernel_time(
+    node: NodeSpec, dtype: str, flops: float, bytes_moved: float, efficiency: float = 1.0
+) -> float:
+    """Convenience: roofline time for one kernel on one node."""
+    return node_roofline(node, dtype, efficiency).time_for(flops, bytes_moved)

@@ -1,0 +1,69 @@
+"""Multi-head causal self-attention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.layers import Dropout, Linear
+from repro.models.module import Module
+from repro.tensor import Tensor, softmax
+
+__all__ = ["CausalSelfAttention"]
+
+
+class CausalSelfAttention(Module):
+    """GPT-style masked multi-head self-attention.
+
+    Input/output shape (B, T, D). Scores are masked with a lower-triangular
+    causal mask; attention probabilities use the numerically-stable softmax.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        dropout_p: float = 0.0,
+        init_std: float = 0.02,
+        dtype: str = "fp32",
+    ):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ConfigError(
+                f"d_model={d_model} must be divisible by n_heads={n_heads}"
+            )
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        self.qkv = Linear(d_model, 3 * d_model, rng, init_std=init_std, dtype=dtype)
+        self.proj = Linear(d_model, d_model, rng, init_std=init_std, dtype=dtype)
+        self.drop = Dropout(dropout_p, rng) if dropout_p > 0 else None
+        self._scale = 1.0 / np.sqrt(self.head_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, d = x.shape
+        if d != self.d_model:
+            raise ConfigError(f"expected last dim {self.d_model}, got {d}")
+        h, hd = self.n_heads, self.head_dim
+
+        qkv = self.qkv(x)  # (B, T, 3D)
+        qkv = qkv.reshape(b, t, 3, h, hd).transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self._scale  # (B, H, T, T)
+        causal = np.triu(np.full((t, t), -1e9, dtype=np.float32), k=1)
+        scores = scores + causal  # broadcast over (B, H)
+        attn = softmax(scores, axis=-1)
+        if self.drop is not None:
+            attn = self.drop(attn)
+
+        out = attn @ v  # (B, H, T, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.proj(out)
+
+    def flops_per_token(self, seq_len: int) -> int:
+        """Forward FLOPs per token: projections + two score matmuls."""
+        proj = 2 * self.d_model * 4 * self.d_model  # qkv + output proj
+        scores = 2 * 2 * seq_len * self.d_model  # QK^T and attn @ V
+        return proj + scores

@@ -1,0 +1,85 @@
+"""Autoregressive sampling from a trained language model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.transformer import MoELanguageModel
+from repro.tensor import no_grad
+
+__all__ = ["generate"]
+
+
+def generate(
+    model: MoELanguageModel,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    rng: np.random.Generator | None = None,
+    greedy: bool = False,
+) -> np.ndarray:
+    """Sample a continuation of ``prompt`` token by token.
+
+    Parameters
+    ----------
+    model:
+        The language model (switched to eval mode for the duration).
+    prompt:
+        Integer array (B, T0) of prompt tokens; T0 >= 1.
+    max_new_tokens:
+        How many tokens to append.
+    temperature:
+        Softmax temperature (> 0); lower is sharper.
+    top_k:
+        Keep only the k most likely tokens before sampling.
+    rng:
+        Generator for sampling (defaults to a fresh seed-0 generator).
+    greedy:
+        Take the argmax instead of sampling (ignores temperature/top_k
+        randomness but still applies the top_k mask for consistency).
+
+    Returns
+    -------
+    np.ndarray
+        (B, T0 + max_new_tokens) tokens, with the prompt as prefix.
+    """
+    prompt = np.asarray(prompt)
+    if prompt.ndim != 2 or prompt.shape[1] < 1:
+        raise ConfigError(f"prompt must be (B, T>=1), got shape {prompt.shape}")
+    if max_new_tokens < 1:
+        raise ConfigError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+    if temperature <= 0:
+        raise ConfigError(f"temperature must be > 0, got {temperature}")
+    vocab = model.config.vocab_size
+    if top_k is not None and not 1 <= top_k <= vocab:
+        raise ConfigError(f"top_k must be in [1, {vocab}], got {top_k}")
+    rng = rng or np.random.default_rng(0)
+
+    was_training = model.training
+    model.eval()
+    tokens = prompt.astype(np.int64)
+    try:
+        with no_grad():
+            for _ in range(max_new_tokens):
+                window = tokens[:, -model.config.max_seq_len:]
+                logits = model(window).data[:, -1, :]  # (B, V)
+                logits = logits / temperature
+                if top_k is not None and top_k < vocab:
+                    kth = np.partition(logits, -top_k, axis=-1)[:, -top_k][:, None]
+                    logits = np.where(logits < kth, -np.inf, logits)
+                if greedy:
+                    nxt = logits.argmax(axis=-1)
+                else:
+                    shifted = logits - logits.max(axis=-1, keepdims=True)
+                    probs = np.exp(shifted)
+                    probs /= probs.sum(axis=-1, keepdims=True)
+                    nxt = np.array(
+                        [rng.choice(vocab, p=p) for p in probs], dtype=np.int64
+                    )
+                tokens = np.concatenate([tokens, nxt[:, None]], axis=1)
+    finally:
+        if was_training:
+            model.train()
+    return tokens

@@ -1,0 +1,152 @@
+"""The (single-process) Mixture-of-Experts feed-forward layer.
+
+This is the *functional reference* for the parallel implementation in
+:mod:`repro.parallel.ep`: route tokens with a gate, run each expert on its
+bucket, combine with differentiable weights, and expose the auxiliary
+balance loss. The parallel version must produce exactly these numerics
+(tested by equivalence tests), only distributing the expert compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.layers import MLP, Linear
+from repro.models.module import Module
+from repro.moe.balance import load_balance_loss, router_z_loss
+from repro.moe.capacity import apply_capacity
+from repro.moe.dispatch import build_dispatch
+from repro.moe.gates import Gate, make_gate
+from repro.tensor import Tensor
+from repro.tensor import ops as T
+from repro.tensor.functional import gather_rows, scatter_rows
+
+__all__ = ["MoELayer"]
+
+
+class MoELayer(Module):
+    """Sparsely-activated feed-forward layer with ``num_experts`` MLPs.
+
+    Parameters
+    ----------
+    d_model / d_ff:
+        Expert MLP dimensions.
+    num_experts:
+        Total experts in the layer.
+    rng:
+        RNG for parameter init and stochastic gates.
+    gate:
+        A :class:`~repro.moe.Gate` instance or strategy name
+        ("topk", "noisy-topk", "balanced", "random").
+    top_k:
+        Experts per token (when ``gate`` is a name).
+    capacity_factor:
+        When set, enforce per-expert buffer capacity and drop overflow
+        slots (Switch-style). ``None`` disables dropping.
+    aux_weight / z_weight:
+        Coefficients of the balance and router-z auxiliary losses,
+        accumulated into :attr:`last_aux_loss` each forward.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        num_experts: int,
+        rng: np.random.Generator,
+        gate: Gate | str = "topk",
+        top_k: int = 1,
+        capacity_factor: float | None = None,
+        aux_weight: float = 1e-2,
+        z_weight: float = 0.0,
+        init_std: float = 0.02,
+        dtype: str = "fp32",
+    ):
+        super().__init__()
+        if num_experts < 1:
+            raise ConfigError(f"num_experts must be >= 1, got {num_experts}")
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.num_experts = num_experts
+        self.capacity_factor = capacity_factor
+        self.aux_weight = aux_weight
+        self.z_weight = z_weight
+        self._rng = rng
+        self.router = Linear(d_model, num_experts, rng, bias=False, init_std=init_std, dtype=dtype)
+        self.register_module_list(
+            "experts",
+            [MLP(d_model, d_ff, rng, init_std=init_std, dtype=dtype) for _ in range(num_experts)],
+        )
+        for expert in self.experts:
+            for p in expert.parameters():
+                p.is_expert = True
+        self.gate: Gate = (
+            gate if isinstance(gate, Gate) else make_gate(gate, num_experts, top_k)
+        )
+        #: Auxiliary loss Tensor from the most recent forward.
+        self.last_aux_loss: Tensor | None = None
+        #: Per-expert token counts from the most recent forward.
+        self.last_load: np.ndarray | None = None
+        #: Fraction of (token, slot) pairs dropped by capacity last forward.
+        self.last_drop_fraction: float = 0.0
+
+    def forward(self, x: Tensor) -> Tensor:
+        orig_shape = x.shape
+        if x.ndim == 3:
+            b, t, d = x.shape
+            x = x.reshape(b * t, d)
+        elif x.ndim != 2:
+            raise ConfigError(f"MoELayer expects (N, D) or (B, T, D), got {x.shape}")
+        n, d = x.shape
+        if d != self.d_model:
+            raise ConfigError(f"expected last dim {self.d_model}, got {d}")
+
+        logits = self.router(x)  # (N, E)
+        gate_out = self.gate(logits, self._rng)
+        self.last_load = gate_out.load
+
+        if self.capacity_factor is not None:
+            cap = apply_capacity(gate_out.indices, self.num_experts, self.capacity_factor)
+            keep = cap.keep_mask
+            self.last_drop_fraction = cap.drop_fraction
+        else:
+            keep = None
+            self.last_drop_fraction = 0.0
+
+        plan = build_dispatch(gate_out.indices, self.num_experts, keep)
+
+        xs = gather_rows(x, plan.token_idx)  # (M, D)
+        outs = []
+        for e in range(self.num_experts):
+            seg = plan.segment(e)
+            if seg.stop == seg.start:
+                continue
+            outs.append((seg, self.experts[e](xs[seg])))
+        if outs:
+            ys = T.concat([y for _, y in outs], axis=0)  # (M, D), expert-sorted
+        else:
+            ys = xs * 0.0
+
+        # Combine weights per dispatched slot, differentiable through the
+        # router softmax.
+        w = gate_out.combine_weights[plan.token_idx, plan.slot_idx]  # (M,)
+        ys = ys * w.reshape(-1, 1)
+        out = scatter_rows(ys, plan.token_idx, n)
+
+        aux = load_balance_loss(gate_out.probs, gate_out.indices, self.num_experts)
+        aux = aux * self.aux_weight
+        if self.z_weight > 0:
+            aux = aux + router_z_loss(logits) * self.z_weight
+        self.last_aux_loss = aux
+
+        if len(orig_shape) == 3:
+            out = out.reshape(*orig_shape)
+        return out
+
+    @property
+    def flops_per_token(self) -> int:
+        """Forward FLOPs per token: router + top_k active experts."""
+        router = 2 * self.d_model * self.num_experts
+        expert = self.experts[0].flops_per_token if self.experts else 0
+        return router + self.gate.top_k * expert

@@ -1,0 +1,197 @@
+"""Transformer blocks and the MoE language model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.attention import CausalSelfAttention
+from repro.models.configs import ModelConfig
+from repro.models.layers import MLP, Dropout, Embedding, LayerNorm, Linear
+from repro.models.module import Module
+from repro.models.moe_layer import MoELayer
+from repro.tensor import Tensor, cross_entropy
+from repro.tensor.checkpoint import checkpoint
+from repro.utils.seeding import derive_seed
+
+__all__ = ["TransformerBlock", "MoELanguageModel", "build_model"]
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: ``x + attn(ln(x))`` then ``x + ffn(ln(x))``.
+
+    The FFN is either a dense :class:`MLP` or a :class:`MoELayer`.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        ffn: Module,
+        rng: np.random.Generator,
+        dropout_p: float = 0.0,
+        dtype: str = "fp32",
+        recompute: bool = False,
+    ):
+        super().__init__()
+        self.ln_attn = LayerNorm(d_model, dtype=dtype)
+        self.attn = CausalSelfAttention(d_model, n_heads, rng, dropout_p=dropout_p, dtype=dtype)
+        self.ln_ffn = LayerNorm(d_model, dtype=dtype)
+        self.ffn = ffn
+        self.drop = Dropout(dropout_p, rng) if dropout_p > 0 else None
+        #: Recompute the attention sublayer (and dense FFN) in backward.
+        #: MoE sublayers are never checkpointed: their aux loss and
+        #: collectives must run exactly once per step.
+        self.recompute = recompute
+
+    def _attn_sublayer(self, x: Tensor) -> Tensor:
+        return self.attn(self.ln_attn(x))
+
+    def _ffn_sublayer(self, x: Tensor) -> Tensor:
+        return self.ffn(self.ln_ffn(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        use_ckpt = self.recompute and self.training and self.drop is None
+        if use_ckpt:
+            h = checkpoint(self._attn_sublayer, x)
+        else:
+            h = self._attn_sublayer(x)
+        if self.drop is not None:
+            h = self.drop(h)
+        x = x + h
+        if use_ckpt and not self.is_moe:
+            h = checkpoint(self._ffn_sublayer, x)
+        else:
+            h = self._ffn_sublayer(x)
+        if self.drop is not None:
+            h = self.drop(h)
+        return x + h
+
+    @property
+    def is_moe(self) -> bool:
+        return isinstance(self.ffn, MoELayer)
+
+
+class MoELanguageModel(Module):
+    """GPT-style causal LM whose FFN layers may be Mixture-of-Experts.
+
+    Build from a :class:`~repro.models.configs.ModelConfig`; blocks at
+    positions where ``(i + 1) % moe_every == 0`` get an MoE FFN, others a
+    dense MLP (``moe_every=1`` makes every block MoE, the BaGuaLu layout).
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0, moe_factory=None):
+        """``moe_factory(layer_idx, rng) -> Module`` overrides how MoE FFNs
+        are built — the hook :mod:`repro.parallel.moda` uses to substitute
+        :class:`~repro.parallel.ep.DistributedMoELayer`."""
+        super().__init__()
+        self.config = config
+        # Every component draws from its own derived seed, so any *slice*
+        # of the model (e.g. one pipeline stage) can be constructed
+        # independently with identical weights.
+        base = derive_seed(seed, "model", config.name)
+        dt = config.dtype
+
+        emb_rng = np.random.default_rng(derive_seed(base, "emb"))
+        self.tok_emb = Embedding(config.vocab_size, config.d_model, emb_rng, dtype=dt)
+        self.pos_emb = Embedding(config.max_seq_len, config.d_model, emb_rng, dtype=dt)
+        self.emb_drop = Dropout(config.dropout, emb_rng) if config.dropout > 0 else None
+
+        blocks = []
+        for i in range(config.n_layers):
+            rng = np.random.default_rng(derive_seed(base, "block", i))
+            if (i + 1) % config.moe_every == 0:
+                if moe_factory is not None:
+                    ffn: Module = moe_factory(i, rng)
+                else:
+                    ffn = MoELayer(
+                        config.d_model,
+                        config.d_ff,
+                        config.num_experts,
+                        rng,
+                        gate=config.gate,
+                        top_k=config.top_k,
+                        capacity_factor=config.capacity_factor,
+                        aux_weight=config.aux_weight,
+                        z_weight=config.z_weight,
+                        dtype=dt,
+                    )
+            else:
+                ffn = MLP(config.d_model, config.d_ff, rng, dtype=dt)
+            blocks.append(
+                TransformerBlock(
+                    config.d_model, config.n_heads, ffn, rng,
+                    dropout_p=config.dropout, dtype=dt,
+                    recompute=config.recompute,
+                )
+            )
+        self.register_module_list("blocks", blocks)
+        head_rng = np.random.default_rng(derive_seed(base, "head"))
+        self.ln_f = LayerNorm(config.d_model, dtype=dt)
+        self.lm_head = Linear(config.d_model, config.vocab_size, head_rng, dtype=dt)
+
+    # ------------------------------------------------------------------ #
+    # Forward / loss
+    # ------------------------------------------------------------------ #
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Logits (B, T, V) for integer token ids (B, T)."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ConfigError(f"tokens must be (B, T), got shape {tokens.shape}")
+        b, t = tokens.shape
+        if t > self.config.max_seq_len:
+            raise ConfigError(
+                f"sequence length {t} exceeds max_seq_len={self.config.max_seq_len}"
+            )
+        pos = np.arange(t)
+        x = self.tok_emb(tokens) + self.pos_emb(pos)
+        if self.emb_drop is not None:
+            x = self.emb_drop(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.ln_f(x)
+        return self.lm_head(x)
+
+    def moe_layers(self) -> list[MoELayer]:
+        """All MoE FFN layers in depth order (local or distributed —
+        anything exposing the MoE bookkeeping attributes)."""
+        return [b.ffn for b in self.blocks if hasattr(b.ffn, "last_aux_loss")]
+
+    def aux_loss(self) -> Tensor | None:
+        """Sum of the auxiliary losses from the most recent forward."""
+        losses = [m.last_aux_loss for m in self.moe_layers() if m.last_aux_loss is not None]
+        if not losses:
+            return None
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        return total
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean cross-entropy over (B, T) targets plus auxiliary losses."""
+        logits = self.forward(tokens)
+        b, t, v = logits.shape
+        ce = cross_entropy(logits.reshape(b * t, v), np.asarray(targets).reshape(-1))
+        aux = self.aux_loss()
+        return ce if aux is None else ce + aux
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def expert_load(self) -> np.ndarray | None:
+        """Summed per-expert loads from the most recent forward."""
+        layers = self.moe_layers()
+        if not layers or layers[0].last_load is None:
+            return None
+        total = np.zeros(self.config.num_experts, dtype=np.int64)
+        for m in layers:
+            if m.last_load is not None:
+                total += m.last_load
+        return total
+
+
+def build_model(config: ModelConfig, seed: int = 0) -> MoELanguageModel:
+    """Factory mirroring the config presets."""
+    return MoELanguageModel(config, seed=seed)

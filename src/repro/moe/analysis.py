@@ -1,0 +1,87 @@
+"""Routing analysis: entropy and expert-specialization diagnostics.
+
+MoE papers report not only *balance* but what the router learned:
+
+* :func:`routing_entropy` — how decisive per-token routing is (0 bits =
+  one-hot confidence, log2(E) = uniform indecision);
+* :func:`expert_usage_entropy` — how evenly the token mass spreads over
+  experts in aggregate (the information-theoretic twin of
+  :func:`~repro.moe.balance.load_stats`);
+* :func:`expert_specialization` — mutual information between token
+  identity and expert choice: 0 when routing ignores content, up to
+  min(H(token), H(expert)) when experts own disjoint vocabularies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["routing_entropy", "expert_usage_entropy", "expert_specialization"]
+
+
+def _entropy(p: np.ndarray, axis: int | None = None) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(p > 0, -p * np.log2(p), 0.0)
+    return terms.sum(axis=axis)
+
+
+def routing_entropy(probs: np.ndarray) -> float:
+    """Mean per-token entropy of the router distribution, in bits.
+
+    ``probs`` is the (N, E) softmax output. A confident router scores near
+    0; an untrained/indifferent one near log2(E).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2 or probs.shape[0] == 0:
+        raise ConfigError(f"probs must be a non-empty (N, E) array, got {probs.shape}")
+    rows = probs.sum(axis=1)
+    if not np.allclose(rows, 1.0, atol=1e-3):
+        raise ConfigError("probs rows must sum to 1 (softmax output)")
+    return float(_entropy(probs, axis=1).mean())
+
+
+def expert_usage_entropy(loads: np.ndarray) -> float:
+    """Entropy of the aggregate expert-usage distribution, in bits.
+
+    log2(E) means perfectly even token mass; lower values mean collapse
+    onto few experts. Complements the max/mean figure in
+    :class:`~repro.moe.LoadStats` (which bounds the *critical path* while
+    this measures overall spread).
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.ndim != 1 or loads.size == 0:
+        raise ConfigError("loads must be a non-empty 1-D array")
+    total = loads.sum()
+    if total <= 0:
+        return 0.0
+    return float(_entropy(loads / total))
+
+
+def expert_specialization(
+    token_ids: np.ndarray, expert_ids: np.ndarray, vocab_size: int, num_experts: int
+) -> float:
+    """Mutual information I(token; expert) in bits.
+
+    High MI means experts specialized on token subsets (the behaviour MoE
+    training aims for); zero means routing is independent of content
+    (e.g. the random gate).
+    """
+    token_ids = np.asarray(token_ids).reshape(-1)
+    expert_ids = np.asarray(expert_ids).reshape(-1)
+    if token_ids.shape != expert_ids.shape or token_ids.size == 0:
+        raise ConfigError("token_ids and expert_ids must be equal-length, non-empty")
+    if token_ids.min() < 0 or token_ids.max() >= vocab_size:
+        raise ConfigError("token ids out of vocabulary range")
+    if expert_ids.min() < 0 or expert_ids.max() >= num_experts:
+        raise ConfigError("expert ids out of range")
+    joint = np.zeros((vocab_size, num_experts), dtype=np.float64)
+    np.add.at(joint, (token_ids, expert_ids), 1.0)
+    joint /= joint.sum()
+    h_token = _entropy(joint.sum(axis=1))
+    h_expert = _entropy(joint.sum(axis=0))
+    h_joint = _entropy(joint)
+    mi = float(h_token + h_expert - h_joint)
+    return max(mi, 0.0)  # clamp float noise

@@ -1,0 +1,141 @@
+"""Token dispatch plans: from routing decisions to send/receive layouts.
+
+A :class:`DispatchPlan` flattens the kept (token, slot) pairs of a routing
+decision into expert-sorted order — the layout both the local MoE layer
+(per-expert batched matmuls) and the expert-parallel alltoall (contiguous
+per-destination buffers) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.mathx import ceil_div
+
+__all__ = ["DispatchPlan", "build_dispatch", "owner_of_expert", "experts_of_rank"]
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """Expert-sorted flattening of kept routing slots.
+
+    Attributes
+    ----------
+    token_idx:
+        (M,) source-token row for each dispatched slot.
+    expert_idx:
+        (M,) destination expert for each dispatched slot (non-decreasing).
+    slot_idx:
+        (M,) which of the token's k slots this entry came from.
+    counts:
+        (E,) number of dispatched slots per expert;
+        ``counts.sum() == M``.
+    offsets:
+        (E+1,) prefix sums of ``counts``: expert e's segment is
+        ``[offsets[e], offsets[e+1])``.
+    num_tokens:
+        Number of source tokens (rows of the activations tensor).
+    """
+
+    token_idx: np.ndarray
+    expert_idx: np.ndarray
+    slot_idx: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+    num_tokens: int
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.token_idx.shape[0])
+
+    @property
+    def num_experts(self) -> int:
+        return int(self.counts.shape[0])
+
+    def segment(self, expert: int) -> slice:
+        """Slice of the dispatched arrays belonging to ``expert``."""
+        return slice(int(self.offsets[expert]), int(self.offsets[expert + 1]))
+
+    def rank_segments(self, experts_per_rank: int) -> list[slice]:
+        """Contiguous slices per owning rank (experts are blocked by rank)."""
+        if experts_per_rank < 1 or self.num_experts % experts_per_rank != 0:
+            raise ConfigError(
+                f"experts_per_rank={experts_per_rank} must divide "
+                f"num_experts={self.num_experts}"
+            )
+        num_ranks = self.num_experts // experts_per_rank
+        out = []
+        for r in range(num_ranks):
+            lo = int(self.offsets[r * experts_per_rank])
+            hi = int(self.offsets[(r + 1) * experts_per_rank])
+            out.append(slice(lo, hi))
+        return out
+
+
+def build_dispatch(
+    indices: np.ndarray,
+    num_experts: int,
+    keep_mask: np.ndarray | None = None,
+) -> DispatchPlan:
+    """Build an expert-sorted dispatch plan from (N, k) routing indices.
+
+    ``keep_mask`` (same shape) excludes capacity-dropped slots. The sort is
+    stable, so within one expert tokens appear in batch order — making the
+    plan deterministic and the combine reproducible.
+    """
+    if indices.ndim != 2:
+        raise ConfigError(f"indices must be (N, k), got shape {indices.shape}")
+    n, k = indices.shape
+    if keep_mask is None:
+        keep_mask = np.ones((n, k), dtype=bool)
+    if keep_mask.shape != (n, k):
+        raise ConfigError(
+            f"keep_mask shape {keep_mask.shape} must match indices {indices.shape}"
+        )
+    tok, slot = np.nonzero(keep_mask)
+    exp = indices[tok, slot]
+    if exp.size and (exp.min() < 0 or exp.max() >= num_experts):
+        raise ConfigError(
+            f"expert index out of range [0, {num_experts}): "
+            f"[{exp.min()}, {exp.max()}]"
+        )
+    order = np.argsort(exp, kind="stable")
+    tok, slot, exp = tok[order], slot[order], exp[order]
+    counts = np.bincount(exp, minlength=num_experts)
+    offsets = np.zeros(num_experts + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return DispatchPlan(
+        token_idx=tok.astype(np.int64),
+        expert_idx=exp.astype(np.int64),
+        slot_idx=slot.astype(np.int64),
+        counts=counts.astype(np.int64),
+        offsets=offsets,
+        num_tokens=n,
+    )
+
+
+def owner_of_expert(expert: int, num_experts: int, num_ranks: int) -> int:
+    """Rank owning ``expert`` under blocked expert placement."""
+    if num_experts % num_ranks != 0:
+        raise ConfigError(
+            f"num_ranks={num_ranks} must divide num_experts={num_experts}"
+        )
+    per = num_experts // num_ranks
+    if not 0 <= expert < num_experts:
+        raise ConfigError(f"expert {expert} out of range [0, {num_experts})")
+    return expert // per
+
+
+def experts_of_rank(rank: int, num_experts: int, num_ranks: int) -> range:
+    """Experts owned by ``rank`` under blocked placement."""
+    if num_experts % num_ranks != 0:
+        raise ConfigError(
+            f"num_ranks={num_ranks} must divide num_experts={num_experts}"
+        )
+    per = num_experts // num_ranks
+    if not 0 <= rank < num_ranks:
+        raise ConfigError(f"rank {rank} out of range [0, {num_ranks})")
+    return range(rank * per, (rank + 1) * per)

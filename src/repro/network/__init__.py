@@ -1,0 +1,35 @@
+"""Interconnect topology and analytic communication cost models."""
+
+from repro.network.links import LinkSpec
+from repro.network.topology import Level, Topology
+from repro.network.costmodel import AlgorithmPolicy, NetworkModel
+from repro.network.presets import (
+    CABINET_LINK,
+    INTER_SUPERNODE_LINK,
+    INTRA_SUPERNODE_LINK,
+    SUPERNODE_SIZE,
+    cabinet_topology,
+    flat_network,
+    flat_topology,
+    sunway_network,
+    sunway_topology,
+    two_level_topology,
+)
+
+__all__ = [
+    "LinkSpec",
+    "Level",
+    "Topology",
+    "AlgorithmPolicy",
+    "NetworkModel",
+    "SUPERNODE_SIZE",
+    "INTRA_SUPERNODE_LINK",
+    "INTER_SUPERNODE_LINK",
+    "CABINET_LINK",
+    "cabinet_topology",
+    "flat_network",
+    "flat_topology",
+    "sunway_network",
+    "sunway_topology",
+    "two_level_topology",
+]

@@ -1,0 +1,141 @@
+"""Ready-made topologies: Sunway-like hierarchy, flat cluster, dual-level.
+
+Link numbers follow published figures for the Sunway TaihuLight successor
+class of machines (per-node injection ~16 GB/s, intra-supernode latency
+~1 us, tapered optical fat-tree between supernodes) — the absolute values
+matter less than their ratios, which set the crossover points the
+benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.network.costmodel import AlgorithmPolicy, NetworkModel
+from repro.network.links import LinkSpec
+from repro.network.topology import Level, Topology
+from repro.utils.mathx import ceil_div
+
+__all__ = [
+    "sunway_topology",
+    "sunway_network",
+    "flat_topology",
+    "flat_network",
+    "two_level_topology",
+    "cabinet_topology",
+    "CABINET_LINK",
+]
+
+#: Nodes per Sunway supernode.
+SUPERNODE_SIZE = 256
+
+#: Intra-supernode electrical link: low latency, full bisection.
+INTRA_SUPERNODE_LINK = LinkSpec(latency=1.0e-6, bandwidth=16e9, oversubscription=1.0)
+
+#: Inter-supernode optical fat-tree: higher latency, 4:1 taper.
+INTER_SUPERNODE_LINK = LinkSpec(latency=7.0e-6, bandwidth=16e9, oversubscription=4.0)
+
+
+def sunway_topology(num_nodes: int, supernode_size: int = SUPERNODE_SIZE) -> Topology:
+    """A Sunway-like two-level topology covering ``num_nodes`` leaf nodes.
+
+    When ``num_nodes`` fits in one supernode the machine is a single flat
+    level; otherwise nodes are grouped into ``supernode_size``-node
+    supernodes joined by the tapered inter-supernode fabric.
+    """
+    if num_nodes < 1:
+        raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+    if supernode_size < 1:
+        raise TopologyError(f"supernode_size must be >= 1, got {supernode_size}")
+    if num_nodes <= supernode_size:
+        return Topology([Level("node", num_nodes, INTRA_SUPERNODE_LINK)])
+    num_supernodes = ceil_div(num_nodes, supernode_size)
+    return Topology(
+        [
+            Level("node", supernode_size, INTRA_SUPERNODE_LINK),
+            Level("supernode", num_supernodes, INTER_SUPERNODE_LINK),
+        ]
+    )
+
+
+def sunway_network(
+    num_nodes: int,
+    supernode_size: int = SUPERNODE_SIZE,
+    policy: AlgorithmPolicy | None = None,
+) -> NetworkModel:
+    """NetworkModel over :func:`sunway_topology`."""
+    return NetworkModel(
+        topology=sunway_topology(num_nodes, supernode_size),
+        policy=policy or AlgorithmPolicy(),
+    )
+
+
+def flat_topology(
+    num_nodes: int,
+    latency: float = 2.0e-6,
+    bandwidth: float = 12.5e9,
+    oversubscription: float = 1.0,
+) -> Topology:
+    """A single-level, uniform cluster (the non-topology-aware baseline)."""
+    if num_nodes < 1:
+        raise TopologyError(f"num_nodes must be >= 1, got {num_nodes}")
+    link = LinkSpec(latency=latency, bandwidth=bandwidth, oversubscription=oversubscription)
+    return Topology([Level("node", num_nodes, link)])
+
+
+def flat_network(
+    num_nodes: int,
+    latency: float = 2.0e-6,
+    bandwidth: float = 12.5e9,
+    policy: AlgorithmPolicy | None = None,
+) -> NetworkModel:
+    """NetworkModel over :func:`flat_topology`."""
+    return NetworkModel(
+        topology=flat_topology(num_nodes, latency=latency, bandwidth=bandwidth),
+        policy=policy or AlgorithmPolicy(),
+    )
+
+
+#: Inter-cabinet optical trunks: longest latency, strongest taper.
+CABINET_LINK = LinkSpec(latency=12.0e-6, bandwidth=16e9, oversubscription=8.0)
+
+
+def cabinet_topology(
+    nodes_per_supernode: int = SUPERNODE_SIZE,
+    supernodes_per_cabinet: int = 4,
+    num_cabinets: int = 4,
+    intra: LinkSpec | None = None,
+    inter: LinkSpec | None = None,
+    trunk: LinkSpec | None = None,
+) -> Topology:
+    """Three-level machine: node -> supernode -> cabinet.
+
+    Models the full physical hierarchy of a Sunway-class installation;
+    the generic collective cost functions handle any depth, and the
+    hierarchical algorithms group at the level just below the span.
+    """
+    if min(nodes_per_supernode, supernodes_per_cabinet, num_cabinets) < 1:
+        raise TopologyError("all cabinet_topology arities must be >= 1")
+    return Topology(
+        [
+            Level("node", nodes_per_supernode, intra or INTRA_SUPERNODE_LINK),
+            Level("supernode", supernodes_per_cabinet, inter or INTER_SUPERNODE_LINK),
+            Level("cabinet", num_cabinets, trunk or CABINET_LINK),
+        ]
+    )
+
+
+def two_level_topology(
+    group_size: int,
+    num_groups: int,
+    intra: LinkSpec | None = None,
+    inter: LinkSpec | None = None,
+) -> Topology:
+    """Explicit two-level topology for tests and ablations."""
+    if group_size < 1 or num_groups < 1:
+        raise TopologyError("group_size and num_groups must be >= 1")
+    return Topology(
+        [
+            Level("node", group_size, intra or INTRA_SUPERNODE_LINK),
+            Level("group", num_groups, inter or INTER_SUPERNODE_LINK),
+        ]
+    )

@@ -1,0 +1,107 @@
+"""Differentiable collectives: autograd ops that communicate.
+
+These wrap :class:`~repro.simmpi.Comm` collectives as autograd graph nodes
+so that the backward pass *also* communicates (the adjoint pattern of each
+collective), exactly like torch.distributed autograd functions:
+
+* alltoall of token rows  ->  backward is the transposed alltoall;
+* allreduce(sum)          ->  backward is allreduce(sum) of the gradient
+  (identity per-rank when inputs were identical).
+
+Because every rank executes a structurally identical program, the backward
+collectives line up across ranks just like the forward ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.simmpi import Comm
+from repro.tensor import Tensor
+from repro.tensor.tensor import _make
+
+__all__ = ["alltoall_rows", "allreduce_sum", "copy_to_tp_region"]
+
+
+def alltoall_rows(
+    x: Tensor,
+    send_counts: Sequence[int],
+    comm: Comm,
+    algorithm: str | None = None,
+) -> tuple[Tensor, list[int]]:
+    """Exchange contiguous row blocks of ``x`` (M, D) between ranks.
+
+    ``send_counts[r]`` rows go to rank r (blocks are consecutive in row
+    order). Returns the received rows — ordered by source rank — and the
+    per-source receive counts.
+
+    Backward routes output gradients back with the transposed counts, so
+    token gradients flow to the rank that owns the token.
+    """
+    send_counts = [int(c) for c in send_counts]
+    if len(send_counts) != comm.size:
+        raise CommunicatorError(
+            f"send_counts must have {comm.size} entries, got {len(send_counts)}"
+        )
+    if sum(send_counts) != x.shape[0]:
+        raise CommunicatorError(
+            f"send_counts sum {sum(send_counts)} != rows {x.shape[0]}"
+        )
+    offsets = np.concatenate([[0], np.cumsum(send_counts)])
+    parts = [x.data[offsets[r]: offsets[r + 1]] for r in range(comm.size)]
+    received = comm.alltoall(parts, algorithm=algorithm)
+    recv_counts = [int(p.shape[0]) for p in received]
+    if received:
+        data = np.concatenate(received, axis=0) if sum(recv_counts) else np.empty(
+            (0,) + x.shape[1:], dtype=x.data.dtype
+        )
+    else:  # pragma: no cover - comm.size >= 1 always
+        data = np.empty((0,) + x.shape[1:], dtype=x.data.dtype)
+    recv_offsets = np.concatenate([[0], np.cumsum(recv_counts)])
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        gparts = [g[recv_offsets[r]: recv_offsets[r + 1]] for r in range(comm.size)]
+        back = comm.alltoall(gparts, algorithm=algorithm)
+        if sum(send_counts):
+            gx = np.concatenate(back, axis=0)
+        else:
+            gx = np.empty((0,) + g.shape[1:], dtype=g.dtype)
+        return (gx,)
+
+    out = _make(data, x.dtype, (x,), backward)
+    return out, recv_counts
+
+
+def allreduce_sum(x: Tensor, comm: Comm, algorithm: str | None = None) -> Tensor:
+    """Sum ``x`` across ranks; every rank returns the total.
+
+    Autograd convention: the SPMD program computes one *logical* loss
+    (each rank evaluates the same replicated value), so the adjoint of
+    ``y = sum_r x_r`` is the identity — each rank's shard receives the
+    (already replicated) output gradient with no further communication.
+    This is the Megatron "g" operator used by tensor parallelism
+    (:mod:`repro.parallel.tp`): allreduce forward, passthrough backward.
+    """
+    data = comm.allreduce(x.data, algorithm=algorithm)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g,)
+
+    return _make(data, x.dtype, (x,), backward)
+
+
+def copy_to_tp_region(x: Tensor, comm: Comm, algorithm: str | None = None) -> Tensor:
+    """Megatron's "f" operator: identity forward, allreduce backward.
+
+    Marks the point where a replicated activation enters a
+    tensor-parallel region: each shard consumes the same input, so the
+    input's gradient is the *sum* of the shards' contributions.
+    The dual of :func:`allreduce_sum` (the "g" operator).
+    """
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (comm.allreduce(g, algorithm=algorithm),)
+
+    return _make(x.data, x.dtype, (x,), backward)

@@ -1,0 +1,197 @@
+"""Distributed checkpoints with expert resharding.
+
+A 14.5 T-parameter model cannot be checkpointed through one rank; BaGuaLu-
+class systems write shards in parallel. Layout used here (a directory):
+
+* ``dense.npz``    — replicated parameters, written by world rank 0;
+* ``experts_<ep_rank>of<ep_size>.npz`` — each EP position's expert
+  parameters, written by that position's expert-data-parallel leader,
+  keyed by **global** parameter names (``blocks.3.ffn.experts.17.fc_in.weight``).
+
+Because expert keys are global, loading is *layout-independent*: a
+checkpoint saved at ``ep_size=4`` restores into a model sharded at
+``ep_size=2`` (or 1) — the resharding path real systems need when the
+allocation changes between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.models.transformer import MoELanguageModel
+from repro.parallel.ep import DistributedMoELayer
+from repro.parallel.groups import MoDaGroups
+
+__all__ = ["save_distributed", "load_distributed", "global_expert_state", "dense_state"]
+
+_META = "meta.json"
+
+
+def _expert_layers(model: MoELanguageModel) -> list[tuple[int, DistributedMoELayer]]:
+    out = []
+    for i, block in enumerate(model.blocks):
+        if isinstance(block.ffn, DistributedMoELayer):
+            out.append((i, block.ffn))
+    return out
+
+
+def global_expert_state(model: MoELanguageModel) -> dict[str, np.ndarray]:
+    """This rank's expert parameters under global (layout-free) names."""
+    state: dict[str, np.ndarray] = {}
+    for layer_idx, layer in _expert_layers(model):
+        for local_idx, gid in enumerate(layer.global_expert_ids):
+            for pname, p in layer.experts[local_idx].named_parameters():
+                state[f"blocks.{layer_idx}.ffn.experts.{gid}.{pname}"] = p.data.copy()
+    return state
+
+
+def dense_state(model: MoELanguageModel) -> dict[str, np.ndarray]:
+    """Replicated (non-expert) parameters by their model names."""
+    return {
+        name: p.data.copy()
+        for name, p in model.named_parameters()
+        if not getattr(p, "is_expert", False)
+    }
+
+
+def save_distributed(
+    directory: str | Path,
+    model: MoELanguageModel,
+    groups: MoDaGroups,
+    step: int = 0,
+    optimizer=None,
+) -> Path:
+    """Write this rank's contribution to a sharded checkpoint.
+
+    Collective over ``groups.world`` (a barrier orders the metadata write
+    after every shard). When ``optimizer`` is given, each world rank also
+    writes its optimizer state (``optim_<rank>of<world>.npz``); optimizer
+    restore requires the same world layout (parameter order is per-rank).
+    Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    ep_size = groups.grid.ep_size
+
+    if groups.world.rank == 0:
+        np.savez(directory / "dense.npz", **dense_state(model))
+    if groups.edp.rank == 0:
+        shard = global_expert_state(model)
+        if shard:
+            np.savez(
+                directory / f"experts_{groups.ep_rank}of{ep_size}.npz", **shard
+            )
+    if optimizer is not None:
+        state = {k: np.asarray(v) for k, v in optimizer.state_dict().items()}
+        np.savez(
+            directory / f"optim_{groups.world.rank}of{groups.world.size}.npz",
+            **state,
+        )
+    groups.world.barrier()
+    if groups.world.rank == 0:
+        meta = {
+            "step": int(step),
+            "ep_size": ep_size,
+            "world_size": groups.world.size,
+            "model": model.config.name,
+        }
+        (directory / _META).write_text(json.dumps(meta))
+    groups.world.barrier()
+    return directory
+
+
+def load_distributed(
+    directory: str | Path,
+    model: MoELanguageModel,
+    strict: bool = True,
+    optimizer=None,
+    world_rank: int | None = None,
+    world_size: int | None = None,
+) -> dict:
+    """Restore a sharded checkpoint into ``model`` (any EP layout).
+
+    Per-rank local operation: each rank reads ``dense.npz`` plus whichever
+    expert shards contain its local experts. When ``optimizer`` is given
+    (with this rank's ``world_rank``/``world_size``), the rank's optimizer
+    state is restored too — this path requires the saving layout.
+    Returns the metadata dict.
+    """
+    directory = Path(directory)
+    meta_path = directory / _META
+    if not meta_path.exists():
+        raise CheckpointError(f"not a distributed checkpoint: {directory}")
+    meta = json.loads(meta_path.read_text())
+
+    dense_path = directory / "dense.npz"
+    if not dense_path.exists():
+        raise CheckpointError(f"missing dense shard in {directory}")
+    dense = np.load(dense_path)
+    for name, p in model.named_parameters():
+        if getattr(p, "is_expert", False):
+            continue
+        if name not in dense.files:
+            if strict:
+                raise CheckpointError(f"dense parameter {name!r} missing from checkpoint")
+            continue
+        arr = dense[name]
+        if arr.shape != p.shape:
+            raise CheckpointError(
+                f"shape mismatch for {name!r}: checkpoint {arr.shape}, model {p.shape}"
+            )
+        p.data = arr.astype(p.data.dtype).copy()
+
+    # Index every expert key across all shard files (lazy per-file load).
+    shard_files = sorted(directory.glob("experts_*.npz"))
+    key_to_file: dict[str, Path] = {}
+    for f in shard_files:
+        with np.load(f) as blob:
+            for key in blob.files:
+                key_to_file[key] = f
+    cache: dict[Path, dict[str, np.ndarray]] = {}
+
+    def fetch(key: str) -> np.ndarray:
+        f = key_to_file.get(key)
+        if f is None:
+            raise CheckpointError(f"expert parameter {key!r} not found in any shard")
+        if f not in cache:
+            with np.load(f) as blob:
+                cache[f] = {k: blob[k] for k in blob.files}
+        return cache[f][key]
+
+    for layer_idx, layer in _expert_layers(model):
+        for local_idx, gid in enumerate(layer.global_expert_ids):
+            for pname, p in layer.experts[local_idx].named_parameters():
+                key = f"blocks.{layer_idx}.ffn.experts.{gid}.{pname}"
+                arr = fetch(key)
+                if arr.shape != p.shape:
+                    raise CheckpointError(
+                        f"shape mismatch for {key!r}: checkpoint {arr.shape}, "
+                        f"model {p.shape}"
+                    )
+                p.data = arr.astype(p.data.dtype).copy()
+
+    if optimizer is not None:
+        if world_rank is None or world_size is None:
+            raise CheckpointError(
+                "optimizer restore needs world_rank and world_size"
+            )
+        if world_size != meta.get("world_size"):
+            raise CheckpointError(
+                f"optimizer state was saved at world_size={meta.get('world_size')}, "
+                f"cannot restore at world_size={world_size}"
+            )
+        opt_path = directory / f"optim_{world_rank}of{world_size}.npz"
+        if not opt_path.exists():
+            raise CheckpointError(f"missing optimizer shard {opt_path.name}")
+        with np.load(opt_path) as blob:
+            optimizer.load_state_dict(
+                {
+                    k: (float(blob[k]) if blob[k].ndim == 0 else blob[k])
+                    for k in blob.files
+                }
+            )
+    return meta

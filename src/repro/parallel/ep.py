@@ -1,0 +1,222 @@
+"""Expert parallelism: the distributed Mixture-of-Experts layer.
+
+Experts of each MoE layer are sharded across an expert-parallel (EP)
+communicator; tokens travel to their experts by alltoall and return by the
+transposed alltoall (both differentiable, see
+:mod:`repro.parallel.collective_ops`). This reproduces the FastMoE-style
+data path BaGuaLu builds on, with the alltoall algorithm (flat vs
+hierarchical) exposed as the knob experiment F3 measures.
+
+Numerics match the single-process :class:`~repro.models.MoELayer` exactly
+for deterministic gates (verified by equivalence tests): only the *place*
+where each expert's matmuls run changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.layers import MLP, Linear
+from repro.models.module import Module
+from repro.moe.balance import load_balance_loss, router_z_loss
+from repro.moe.capacity import apply_capacity
+from repro.moe.dispatch import build_dispatch, experts_of_rank
+from repro.moe.gates import Gate, make_gate
+from repro.parallel.collective_ops import alltoall_rows
+from repro.simmpi import Comm
+from repro.tensor import Tensor
+from repro.tensor import ops as T
+from repro.tensor.functional import gather_rows, scatter_rows
+from repro.utils.seeding import derive_seed
+
+__all__ = ["DistributedMoELayer"]
+
+
+class DistributedMoELayer(Module):
+    """MoE feed-forward layer sharded over an EP communicator.
+
+    Parameters
+    ----------
+    d_model / d_ff / num_experts:
+        Layer dimensions; ``num_experts`` must be divisible by
+        ``ep_comm.size``.
+    ep_comm:
+        The expert-parallel communicator (each member holds
+        ``num_experts / size`` experts, blocked placement).
+    shared_rng:
+        RNG consumed identically on every EP rank (router init, gate
+        noise) — keeps replicated parameters bit-identical.
+    seed / layer_id:
+        Expert parameters are seeded per *global* expert id from
+        ``derive_seed(seed, "expert", layer_id, gid)``, so the set of
+        expert weights is independent of the EP layout.
+    alltoall_algorithm:
+        Timing-model algorithm for the token exchange
+        ("flat" / "hierarchical" / None = policy default).
+    compute_hook:
+        Optional callable ``(num_rows) -> None`` invoked with the number of
+        expert rows processed locally; runners use it to advance the
+        virtual clock by modelled expert-compute time.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        num_experts: int,
+        ep_comm: Comm,
+        shared_rng: np.random.Generator,
+        seed: int = 0,
+        layer_id: int = 0,
+        gate: Gate | str = "topk",
+        top_k: int = 1,
+        capacity_factor: float | None = None,
+        aux_weight: float = 1e-2,
+        z_weight: float = 0.0,
+        alltoall_algorithm: str | None = None,
+        init_std: float = 0.02,
+        dtype: str = "fp32",
+        compute_hook: Callable[[int], None] | None = None,
+    ):
+        super().__init__()
+        if num_experts % ep_comm.size != 0:
+            raise ConfigError(
+                f"ep size {ep_comm.size} must divide num_experts={num_experts}"
+            )
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.num_experts = num_experts
+        self.ep_comm = ep_comm
+        self.num_local_experts = num_experts // ep_comm.size
+        self.global_expert_ids = experts_of_rank(ep_comm.rank, num_experts, ep_comm.size)
+        self.capacity_factor = capacity_factor
+        self.aux_weight = aux_weight
+        self.z_weight = z_weight
+        self.alltoall_algorithm = alltoall_algorithm
+        self.compute_hook = compute_hook
+        self._rng = shared_rng
+
+        self.router = Linear(
+            d_model, num_experts, shared_rng, bias=False, init_std=init_std, dtype=dtype
+        )
+        local = []
+        for gid in self.global_expert_ids:
+            erng = np.random.default_rng(derive_seed(seed, "expert", layer_id, gid))
+            local.append(MLP(d_model, d_ff, erng, init_std=init_std, dtype=dtype))
+        self.register_module_list("experts", local)
+        for expert in local:
+            for p in expert.parameters():
+                p.is_expert = True
+
+        self.gate: Gate = (
+            gate if isinstance(gate, Gate) else make_gate(gate, num_experts, top_k)
+        )
+        self.last_aux_loss: Tensor | None = None
+        #: Local routing load over *global* experts (this rank's tokens).
+        self.last_load: np.ndarray | None = None
+        #: Group-wide load (allreduced over the EP group).
+        self.last_global_load: np.ndarray | None = None
+        self.last_drop_fraction: float = 0.0
+        #: Rows this rank's experts processed in the last forward.
+        self.last_local_rows: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    def forward(self, x: Tensor) -> Tensor:
+        orig_shape = x.shape
+        if x.ndim == 3:
+            b, t, d = x.shape
+            x = x.reshape(b * t, d)
+        elif x.ndim != 2:
+            raise ConfigError(
+                f"DistributedMoELayer expects (N, D) or (B, T, D), got {x.shape}"
+            )
+        n, d = x.shape
+        comm = self.ep_comm
+        p = comm.size
+        per_rank = self.num_local_experts
+
+        # 1. Route locally.
+        logits = self.router(x)
+        gate_out = self.gate(logits, self._rng)
+        self.last_load = gate_out.load
+        self.last_global_load = comm.allreduce(gate_out.load)
+
+        if self.capacity_factor is not None:
+            cap = apply_capacity(gate_out.indices, self.num_experts, self.capacity_factor)
+            keep = cap.keep_mask
+            self.last_drop_fraction = cap.drop_fraction
+        else:
+            keep = None
+            self.last_drop_fraction = 0.0
+
+        plan = build_dispatch(gate_out.indices, self.num_experts, keep)
+        xs = gather_rows(x, plan.token_idx)  # (M, D), global-expert-sorted
+
+        # 2. Exchange metadata: how many rows for each of the destination's
+        #    local experts am I sending?
+        counts_by_dst = [
+            plan.counts[r * per_rank: (r + 1) * per_rank].copy() for r in range(p)
+        ]
+        recv_expert_counts = comm.alltoall(counts_by_dst)  # per src: (per_rank,)
+
+        # 3. Token alltoall (differentiable).
+        send_counts = [int(c.sum()) for c in counts_by_dst]
+        recv_rows, recv_counts = alltoall_rows(
+            xs, send_counts, comm, algorithm=self.alltoall_algorithm
+        )
+
+        # 4. Regroup received rows by local expert (they arrive blocked by
+        #    source, sorted by expert within each block).
+        expert_of_row = np.concatenate(
+            [np.repeat(np.arange(per_rank), c) for c in recv_expert_counts]
+        ) if recv_expert_counts else np.zeros(0, dtype=np.int64)
+        order = np.argsort(expert_of_row, kind="stable")
+        xr = gather_rows(recv_rows, order)
+        rows_per_expert = np.bincount(expert_of_row, minlength=per_rank)
+        self.last_local_rows = int(rows_per_expert.sum())
+        if self.compute_hook is not None:
+            self.compute_hook(self.last_local_rows)
+
+        # 5. Run local experts on contiguous segments.
+        outs = []
+        lo = 0
+        for e in range(per_rank):
+            hi = lo + int(rows_per_expert[e])
+            if hi > lo:
+                outs.append(self.experts[e](xr[lo:hi]))
+            lo = hi
+        ys_sorted = T.concat(outs, axis=0) if outs else xr * 0.0
+
+        # 6. Undo the regrouping and send results home.
+        inv_order = np.argsort(order, kind="stable")
+        ys = gather_rows(ys_sorted, inv_order)
+        back_rows, back_counts = alltoall_rows(
+            ys, recv_counts, comm, algorithm=self.alltoall_algorithm
+        )
+        assert back_counts == send_counts, "alltoall transpose mismatch"
+
+        # 7. Combine at the source with differentiable gate weights.
+        w = gate_out.combine_weights[plan.token_idx, plan.slot_idx]
+        combined = back_rows * w.reshape(-1, 1)
+        out = scatter_rows(combined, plan.token_idx, n)
+
+        aux = load_balance_loss(gate_out.probs, gate_out.indices, self.num_experts)
+        aux = aux * self.aux_weight
+        if self.z_weight > 0:
+            aux = aux + router_z_loss(logits) * self.z_weight
+        self.last_aux_loss = aux
+
+        if len(orig_shape) == 3:
+            out = out.reshape(*orig_shape)
+        return out
+
+    @property
+    def flops_per_token(self) -> int:
+        """Forward FLOPs per token: router + top_k expert MLPs."""
+        router = 2 * self.d_model * self.num_experts
+        expert = self.experts[0].flops_per_token if self.experts else 0
+        return router + self.gate.top_k * expert

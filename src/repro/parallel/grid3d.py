@@ -1,0 +1,252 @@
+"""3D parallelism: pipeline x data x expert (the Megatron-style superset).
+
+The world is factored as ``pipe_size`` stage *planes* of
+``dp_size x ep_size`` ranks:
+
+* ranks in the same plane hold the same pipeline stage; within the plane
+  they run MoDa (dense params data-parallel, experts sharded over EP
+  groups);
+* ranks at the same plane position across planes form one *pipeline* and
+  stream microbatches GPipe-style.
+
+Rank layout (world rank ``r``)::
+
+    stage       = r // plane_size          (outermost)
+    plane_rank  = r %  plane_size          (= pipeline id)
+    ep_group    = plane_rank // ep_size
+    ep_rank     = plane_rank %  ep_size
+
+Each pipeline consumes its own data shard (``dp_stream = plane_rank``), so
+the *global* batch is the concatenation over plane positions — exactly the
+data-parallel semantics of plain MoDa, now with layers also split across
+stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.amp import DynamicLossScaler, grads_have_overflow
+from repro.data.loader import Batch
+from repro.errors import ConfigError
+from repro.models.configs import ModelConfig
+from repro.parallel.dp import allreduce_gradients
+from repro.parallel.ep import DistributedMoELayer
+from repro.parallel.groups import MoDaGroups, build_groups
+from repro.parallel.moda import split_params
+from repro.parallel.pipeline import GPipeRunner
+from repro.simmpi import MAX, Comm
+from repro.train.optim import Optimizer
+from repro.train.schedules import ConstantLR, LRSchedule
+
+__all__ = ["Grid3D", "Groups3D", "build_groups3d", "Trainer3D", "Step3DResult"]
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """Static 3D decomposition: world = pipe x dp x ep."""
+
+    world_size: int
+    pipe_size: int
+    ep_size: int
+
+    def __post_init__(self) -> None:
+        if min(self.world_size, self.pipe_size, self.ep_size) < 1:
+            raise ConfigError("all grid dimensions must be >= 1")
+        if self.world_size % self.pipe_size != 0:
+            raise ConfigError(
+                f"pipe_size={self.pipe_size} must divide world_size={self.world_size}"
+            )
+        if self.plane_size % self.ep_size != 0:
+            raise ConfigError(
+                f"ep_size={self.ep_size} must divide plane size {self.plane_size}"
+            )
+
+    @property
+    def plane_size(self) -> int:
+        """Ranks per pipeline stage (= dp_size * ep_size)."""
+        return self.world_size // self.pipe_size
+
+    @property
+    def dp_size(self) -> int:
+        return self.plane_size // self.ep_size
+
+    def stage_of(self, rank: int) -> int:
+        return rank // self.plane_size
+
+    def plane_rank_of(self, rank: int) -> int:
+        """Pipeline id of ``rank`` (its position within the stage plane)."""
+        return rank % self.plane_size
+
+
+@dataclass
+class Groups3D:
+    """Live communicators for one rank of a 3D program."""
+
+    grid: Grid3D
+    world: Comm
+    #: This rank's pipeline (same plane position across stages).
+    pipe: Comm
+    #: MoDa groups within this rank's stage plane.
+    plane: MoDaGroups
+
+    @property
+    def stage(self) -> int:
+        return self.pipe.rank
+
+    @property
+    def pipeline_id(self) -> int:
+        return self.grid.plane_rank_of(self.world.rank)
+
+
+def build_groups3d(world: Comm, pipe_size: int, ep_size: int) -> Groups3D:
+    """Split ``world`` into the 3D communicators (collective call)."""
+    grid = Grid3D(world_size=world.size, pipe_size=pipe_size, ep_size=ep_size)
+    r = world.rank
+    pipe = world.Split(color=grid.plane_rank_of(r), key=grid.stage_of(r))
+    plane_comm = world.Split(color=grid.stage_of(r), key=grid.plane_rank_of(r))
+    assert pipe is not None and plane_comm is not None
+    plane = build_groups(plane_comm, ep_size)
+    return Groups3D(grid=grid, world=world, pipe=pipe, plane=plane)
+
+
+@dataclass
+class Step3DResult:
+    """Per-rank metrics from one 3D step."""
+
+    step: int
+    #: Mean loss over this rank's pipeline.
+    loss: float
+    #: Mean loss over the whole (global) batch.
+    global_loss: float
+    lr: float
+    skipped: bool
+    loss_scale: float
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class Trainer3D:
+    """One rank's view of synchronous pipe x data x expert training.
+
+    The caller provides the optimizer over ``trainer.stage.parameters()``
+    (built after construction, e.g. ``Adam(trainer.stage.parameters())``),
+    then calls :meth:`train_step` with the batch of *this rank's pipeline*
+    (fetch it with ``dp_rank=groups.pipeline_id,
+    dp_size=grid.plane_size``).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        groups: Groups3D,
+        num_microbatches: int,
+        seed: int = 0,
+        schedule: LRSchedule | None = None,
+        scaler: DynamicLossScaler | None = None,
+        alltoall_algorithm: str | None = None,
+        allreduce_algorithm: str | None = None,
+    ):
+        self.groups = groups
+        self.config = config
+        self.scaler = scaler
+        self.allreduce_algorithm = allreduce_algorithm
+        self.step_count = 0
+        self.history: list[Step3DResult] = []
+
+        def moe_factory(layer_idx: int, rng: np.random.Generator):
+            return DistributedMoELayer(
+                config.d_model,
+                config.d_ff,
+                config.num_experts,
+                groups.plane.ep,
+                shared_rng=rng,
+                seed=seed,
+                layer_id=layer_idx,
+                gate=config.gate,
+                top_k=config.top_k,
+                capacity_factor=config.capacity_factor,
+                aux_weight=config.aux_weight,
+                z_weight=config.z_weight,
+                alltoall_algorithm=alltoall_algorithm,
+                dtype=config.dtype,
+            )
+
+        self.gpipe = GPipeRunner(
+            config, groups.pipe, num_microbatches, seed=seed, moe_factory=moe_factory
+        )
+        self.stage = self.gpipe.stage
+        self.dense_params, self.expert_params = split_params(self.stage)
+        self.schedule = schedule or ConstantLR(1e-3)
+        self.optimizer: Optimizer | None = None  # set via attach_optimizer
+
+    def attach_optimizer(self, optimizer: Optimizer) -> None:
+        """Bind the optimizer (must cover ``self.stage.parameters()``)."""
+        self.optimizer = optimizer
+
+    def train_step(self, batch: Batch) -> Step3DResult:
+        """One synchronous 3D step on this pipeline's batch."""
+        if self.optimizer is None:
+            raise ConfigError("call attach_optimizer() before train_step()")
+        groups = self.groups
+        lr = self.schedule(self.step_count)
+        self.optimizer.lr = lr
+        self.stage.zero_grad()
+
+        # GPipe forward/backward over this pipeline. Loss scaling folds
+        # into the backward seed via a scaled post-hoc gradient multiply:
+        # simpler and equivalent — scale gradients after accumulation.
+        loss = self.gpipe.train_step(batch.tokens, batch.targets)
+        scale = self.scaler.scale if self.scaler is not None else 1.0
+        if scale != 1.0:
+            for p in self.stage.parameters():
+                if p.grad is not None:
+                    p.grad = (p.grad * scale).astype(p.grad.dtype)
+
+        # Sync within the stage plane: dense over the whole plane, expert
+        # shards across EP-group replicas.
+        allreduce_gradients(
+            groups.plane.world, self.dense_params, average=True,
+            algorithm=self.allreduce_algorithm,
+        )
+        allreduce_gradients(
+            groups.plane.edp, self.expert_params, average=True,
+            algorithm=self.allreduce_algorithm,
+        )
+
+        local_overflow = (
+            1.0
+            if self.scaler is not None and grads_have_overflow(self.optimizer.params)
+            else 0.0
+        )
+        overflow = bool(groups.world.allreduce(local_overflow, op=MAX) > 0)
+
+        skipped = False
+        if self.scaler is not None and overflow:
+            skipped = True
+            self.scaler.update(found_overflow=True)
+        else:
+            self.optimizer.step(grad_scale=1.0 / scale)
+            if self.scaler is not None:
+                self.scaler.update(found_overflow=False)
+
+        # Global loss: pipelines hold distinct batches; average over the
+        # plane (every stage of a pipeline reports the same value, so
+        # averaging over one plane covers every pipeline exactly once).
+        global_loss = (
+            float(groups.plane.world.allreduce(loss)) / groups.plane.world.size
+        )
+
+        result = Step3DResult(
+            step=self.step_count,
+            loss=float(loss),
+            global_loss=global_loss,
+            lr=lr,
+            skipped=skipped,
+            loss_scale=scale,
+        )
+        self.step_count += 1
+        self.history.append(result)
+        return result

@@ -1,0 +1,184 @@
+"""Turn-key SPMD experiment runner.
+
+One parametrized entry point covers the measured side of every strategy
+comparison (experiment T3 and the measured halves of F1/F2):
+
+* ``ep_size=1``                  -> pure data parallelism (every rank holds
+  every expert; only gradients are communicated);
+* ``ep_size=world, flat``        -> naive expert parallelism with the flat
+  alltoall;
+* ``1 < ep_size`` + hierarchical -> the MoDa hybrid.
+
+Each rank trains on its own data shard; virtual clocks advance by modelled
+compute (via :class:`~repro.perf.ComputeTimer`) and by the network cost of
+every communication operation, so the run's ``simulated_time`` is a
+topology-aware per-step cost measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.amp import DynamicLossScaler, cast_model
+from repro.data import ShardedLoader, SyntheticCorpus
+from repro.errors import ConfigError
+from repro.hardware.specs import MachineSpec, sunway_machine
+from repro.models.configs import ModelConfig
+from repro.network.costmodel import NetworkModel
+from repro.network.presets import sunway_network
+from repro.parallel.groups import build_groups
+from repro.parallel.moda import MoDaTrainer, build_moda_model
+from repro.perf.stepmodel import ComputeTimer
+from repro.simmpi import run_spmd
+from repro.train.optim import Adam
+from repro.train.schedules import ConstantLR
+
+__all__ = ["TrainingRunConfig", "TrainingRunResult", "run_distributed_training"]
+
+
+@dataclass(frozen=True)
+class TrainingRunConfig:
+    """Everything needed to launch one measured SPMD training run."""
+
+    model: ModelConfig
+    world_size: int
+    ep_size: int
+    num_steps: int = 4
+    batch_size: int = 4
+    seq_len: int = 16
+    lr: float = 1e-3
+    seed: int = 0
+    corpus_predictability: float = 0.8
+    alltoall_algorithm: str | None = None
+    allreduce_algorithm: str | None = None
+    mixed_precision: bool = False
+    model_compute_time: bool = True
+    timeout: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1 or self.num_steps < 1:
+            raise ConfigError("world_size and num_steps must be >= 1")
+        if self.world_size % self.ep_size != 0:
+            raise ConfigError(
+                f"ep_size={self.ep_size} must divide world_size={self.world_size}"
+            )
+
+
+@dataclass
+class TrainingRunResult:
+    """Aggregated outcome of one run."""
+
+    #: Global (world-averaged) loss per step.
+    losses: list[float]
+    #: Virtual makespan in seconds.
+    simulated_time: float
+    #: Virtual seconds per training step (makespan / steps).
+    step_time: float
+    #: Traffic summary from the engine.
+    traffic: dict[str, Any]
+    #: Per-rank expert-load imbalance (max/mean) averaged over steps.
+    load_imbalance: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def _rank_program(comm, cfg: TrainingRunConfig, machine: MachineSpec):
+    timer = (
+        ComputeTimer(cfg.model, machine, cfg.seq_len)
+        if cfg.model_compute_time
+        else None
+    )
+
+    def compute_hook(rows: int) -> None:
+        if timer is not None:
+            comm.advance(timer.expert_layer_time(rows))
+
+    groups = build_groups(comm, cfg.ep_size)
+    model = build_moda_model(
+        cfg.model,
+        groups,
+        seed=cfg.seed,
+        alltoall_algorithm=cfg.alltoall_algorithm,
+        compute_hook=compute_hook,
+    )
+    scaler = None
+    if cfg.mixed_precision:
+        cast_model(model, "fp16")
+        scaler = DynamicLossScaler(init_scale=2.0**12, growth_interval=50)
+
+    corpus = SyntheticCorpus(
+        vocab_size=cfg.model.vocab_size,
+        predictability=cfg.corpus_predictability,
+        seed=cfg.seed,
+    )
+    loader = ShardedLoader(
+        corpus, cfg.batch_size, cfg.seq_len, dp_rank=comm.rank, dp_size=comm.size
+    )
+    optimizer = Adam(model.parameters(), lr=cfg.lr)
+    trainer = MoDaTrainer(
+        model,
+        optimizer,
+        groups,
+        schedule=ConstantLR(cfg.lr),
+        scaler=scaler,
+        allreduce_algorithm=cfg.allreduce_algorithm,
+    )
+
+    losses: list[float] = []
+    imbalances: list[float] = []
+    for step in range(cfg.num_steps):
+        if timer is not None:
+            comm.advance(timer.dense_step_time(cfg.batch_size * cfg.seq_len))
+        result = trainer.train_step(loader.get_batch(step))
+        losses.append(result.global_loss)
+        loads = [
+            m.last_global_load
+            for m in model.moe_layers()
+            if getattr(m, "last_global_load", None) is not None
+        ]
+        if loads:
+            total = np.sum(loads, axis=0).astype(np.float64)
+            mean = total.mean()
+            imbalances.append(float(total.max() / mean) if mean > 0 else 1.0)
+    return {
+        "losses": losses,
+        "imbalance": float(np.mean(imbalances)) if imbalances else 1.0,
+    }
+
+
+def run_distributed_training(
+    cfg: TrainingRunConfig,
+    network: NetworkModel | None = None,
+    machine: MachineSpec | None = None,
+) -> TrainingRunResult:
+    """Execute the SPMD training run and aggregate per-rank results."""
+    network = network or sunway_network(cfg.world_size)
+    machine = machine or sunway_machine(num_nodes=cfg.world_size)
+    spmd = run_spmd(
+        _rank_program,
+        cfg.world_size,
+        network=network,
+        seed=cfg.seed,
+        timeout=cfg.timeout,
+        args=(cfg, machine),
+    )
+    losses = spmd.returns[0]["losses"]
+    for r in spmd.returns[1:]:
+        if not np.allclose(r["losses"], losses):
+            raise ConfigError("ranks disagree on the global loss trajectory")
+    return TrainingRunResult(
+        losses=losses,
+        simulated_time=spmd.simulated_time,
+        step_time=spmd.simulated_time / cfg.num_steps,
+        traffic=spmd.stats.summary(),
+        load_imbalance=float(np.mean([r["imbalance"] for r in spmd.returns])),
+        meta={
+            "world_size": cfg.world_size,
+            "ep_size": cfg.ep_size,
+            "mixed_precision": cfg.mixed_precision,
+            "alltoall": cfg.alltoall_algorithm,
+            "allreduce": cfg.allreduce_algorithm,
+        },
+    )

@@ -1,0 +1,30 @@
+"""Analytic performance model: FLOPs, memory, per-step time, sweeps."""
+
+from repro.perf.calibration import CalibrationResult, calibrate_efficiency
+from repro.perf.flops import (
+    BACKWARD_MULTIPLIER,
+    forward_flops_per_token,
+    step_flops,
+    step_flops_per_token,
+)
+from repro.perf.memory import MemoryBreakdown, node_memory
+from repro.perf.plan import ParallelPlan
+from repro.perf.stepmodel import ComputeTimer, StepBreakdown, StepModel
+from repro.perf.sweep import strong_scaling_rows, weak_scaling_rows
+
+__all__ = [
+    "BACKWARD_MULTIPLIER",
+    "forward_flops_per_token",
+    "step_flops",
+    "step_flops_per_token",
+    "CalibrationResult",
+    "calibrate_efficiency",
+    "MemoryBreakdown",
+    "node_memory",
+    "ParallelPlan",
+    "ComputeTimer",
+    "StepBreakdown",
+    "StepModel",
+    "strong_scaling_rows",
+    "weak_scaling_rows",
+]

@@ -1,0 +1,113 @@
+"""Parallel execution plans for the analytic performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.models.configs import ModelConfig
+
+__all__ = ["ParallelPlan"]
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """How a model run maps onto the machine.
+
+    One MPI rank per node (the Sunway layout: the 390 cores of a node act
+    as one accelerator). EP groups are consecutive ranks, so choosing
+    ``ep_size <= supernode_size`` keeps token alltoalls on intra-supernode
+    links — the placement rule BaGuaLu exploits.
+
+    Parameters
+    ----------
+    num_nodes:
+        World size (ranks == nodes).
+    ep_size:
+        Expert-parallel group width; must divide num_nodes and the model's
+        expert count.
+    micro_batch:
+        Sequences per rank per step.
+    seq_len:
+        Tokens per sequence.
+    zero_shards:
+        Optimizer-state sharding factor (1 = no ZeRO).
+    alltoall / allreduce:
+        Algorithm names for the cost model ("auto" default).
+    load_imbalance:
+        Multiplier (>= 1) on expert compute + alltoall payload from uneven
+        routing; 1.0 for a perfectly balanced gate. Feed measured
+        :attr:`~repro.moe.LoadStats.imbalance` here.
+    """
+
+    num_nodes: int
+    ep_size: int
+    micro_batch: int = 1
+    seq_len: int = 2048
+    zero_shards: int = 1
+    alltoall: str | None = None
+    allreduce: str | None = None
+    load_imbalance: float = 1.0
+    #: Activation recomputation: trades the per-layer activation memory
+    #: for one extra forward pass (~1/3 more compute).
+    recompute: bool = False
+    #: Fraction of gradient-sync communication hidden behind backward
+    #: compute (bucketed allreduce overlapping, as BaGuaLu-class systems
+    #: do). 0 = fully exposed, 1 = hidden up to the compute time.
+    overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.ep_size < 1:
+            raise ConfigError("num_nodes and ep_size must be >= 1")
+        if self.num_nodes % self.ep_size != 0:
+            raise ConfigError(
+                f"ep_size={self.ep_size} must divide num_nodes={self.num_nodes}"
+            )
+        if self.micro_batch < 1 or self.seq_len < 1:
+            raise ConfigError("micro_batch and seq_len must be >= 1")
+        if self.zero_shards < 1:
+            raise ConfigError("zero_shards must be >= 1")
+        if self.load_imbalance < 1.0:
+            raise ConfigError(
+                f"load_imbalance must be >= 1, got {self.load_imbalance}"
+            )
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ConfigError(f"overlap must be in [0, 1], got {self.overlap}")
+
+    @property
+    def num_ep_groups(self) -> int:
+        return self.num_nodes // self.ep_size
+
+    @property
+    def tokens_per_rank(self) -> int:
+        return self.micro_batch * self.seq_len
+
+    @property
+    def global_tokens(self) -> int:
+        """Tokens consumed machine-wide per step."""
+        return self.tokens_per_rank * self.num_nodes
+
+    def validate_against(self, config: ModelConfig) -> None:
+        """Check the plan is compatible with a model config.
+
+        Experts are placed at *instance* granularity: the
+        ``num_moe_layers * num_experts`` expert MLPs of the model are
+        distributed over the EP group (BaGuaLu shards its experts over the
+        whole machine, so a rank may own experts from only some layers).
+        """
+        instances = config.num_moe_layers * config.num_experts
+        if self.ep_size > max(instances, 1):
+            raise ConfigError(
+                f"ep_size={self.ep_size} exceeds total expert instances "
+                f"({instances}) — ranks would be idle"
+            )
+        if self.seq_len > config.max_seq_len:
+            raise ConfigError(
+                f"plan seq_len={self.seq_len} exceeds model "
+                f"max_seq_len={config.max_seq_len}"
+            )
+
+    def expert_instances_per_rank(self, config: ModelConfig) -> float:
+        """Average expert MLPs owned per rank (may be fractional)."""
+        self.validate_against(config)
+        return config.num_moe_layers * config.num_experts / self.ep_size

@@ -1,0 +1,235 @@
+"""Analytic per-step time model: compute + communication under a plan.
+
+This is the instrument that extends the measured small-scale simmpi runs to
+the paper's 96,000-node regime. The same network cost model drives both
+(the simmpi virtual clock calls it per operation; here we call it once per
+step phase), so projected and measured curves are mutually consistent by
+construction — validated by a calibration test.
+
+Phases per training step (synchronous, conservatively non-overlapped):
+
+* dense compute: forward+backward matmul time on the node roofline;
+* expert compute: routed-row MLP time, scaled by the gate's load-imbalance
+  factor (the slowest expert paces the group);
+* token alltoall: 2 exchanges forward + 2 backward per MoE layer;
+* dense-gradient allreduce over the world;
+* expert-gradient allreduce over the expert-data-parallel group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.specs import MachineSpec
+from repro.models.configs import ModelConfig
+from repro.network.costmodel import NetworkModel
+from repro.perf.flops import BACKWARD_MULTIPLIER, forward_flops_per_token
+from repro.perf.plan import ParallelPlan
+from repro.tensor.dtype import itemsize
+
+__all__ = ["StepBreakdown", "StepModel", "ComputeTimer"]
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Seconds per step, by phase."""
+
+    dense_compute: float
+    expert_compute: float
+    alltoall: float
+    dense_allreduce: float
+    expert_allreduce: float
+
+    @property
+    def compute(self) -> float:
+        return self.dense_compute + self.expert_compute
+
+    @property
+    def communication(self) -> float:
+        return self.alltoall + self.dense_allreduce + self.expert_allreduce
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communication
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "dense_compute": self.dense_compute,
+            "expert_compute": self.expert_compute,
+            "alltoall": self.alltoall,
+            "dense_allreduce": self.dense_allreduce,
+            "expert_allreduce": self.expert_allreduce,
+            "total": self.total,
+        }
+
+
+class ComputeTimer:
+    """Per-operation compute-time estimates for *measured* simmpi runs.
+
+    The SPMD runners advance each rank's virtual clock with these
+    estimates, so small-scale measured runs include modelled compute on the
+    same machine spec the analytic :class:`StepModel` uses — keeping
+    measured and projected scaling curves consistent.
+    """
+
+    def __init__(self, config: ModelConfig, machine: MachineSpec, seq_len: int):
+        self.config = config
+        self.machine = machine
+        self.seq_len = seq_len
+        self._node_flops = (
+            machine.node.flops(config.dtype) * machine.compute_efficiency
+        )
+        expert_fwd = config.top_k * 2.0 * config.ffn_expert_params * config.num_moe_layers
+        self._dense_fwd_per_token = (
+            forward_flops_per_token(config, seq_len) - expert_fwd
+        )
+        #: forward FLOPs for one routed row through one expert MLP.
+        self._expert_fwd_per_row = 2.0 * config.ffn_expert_params
+
+    def dense_step_time(self, num_tokens: int) -> float:
+        """Forward+backward dense compute time for ``num_tokens`` tokens."""
+        flops = num_tokens * self._dense_fwd_per_token * (1.0 + BACKWARD_MULTIPLIER)
+        return flops / self._node_flops
+
+    def expert_layer_time(self, rows: int) -> float:
+        """Forward+backward time for ``rows`` routed through one MoE layer."""
+        flops = rows * self._expert_fwd_per_row * (1.0 + BACKWARD_MULTIPLIER)
+        return flops / self._node_flops
+
+
+class StepModel:
+    """Bind (model config, machine, network) and evaluate plans."""
+
+    def __init__(self, config: ModelConfig, machine: MachineSpec, network: NetworkModel):
+        self.config = config
+        self.machine = machine
+        self.network = network
+
+    # ------------------------------------------------------------------ #
+    # Component times
+    # ------------------------------------------------------------------ #
+
+    def _node_flops(self) -> float:
+        return self.machine.node.flops(self.config.dtype) * self.machine.compute_efficiency
+
+    def dense_compute_time(self, plan: ParallelPlan) -> float:
+        """Per-node attention/backbone/router compute (fwd + bwd)."""
+        cfg = self.config
+        # Dense forward FLOPs/token = everything except the expert MLPs.
+        expert_flops = (
+            cfg.num_moe_layers * cfg.top_k * 2.0 * cfg.ffn_expert_params
+        )
+        dense_fwd = forward_flops_per_token(cfg, plan.seq_len) - expert_flops
+        multiplier = 1.0 + BACKWARD_MULTIPLIER + (1.0 if plan.recompute else 0.0)
+        total = plan.tokens_per_rank * dense_fwd * multiplier
+        return total / self._node_flops()
+
+    def expert_compute_time(self, plan: ParallelPlan) -> float:
+        """Per-node expert MLP compute, paced by the most-loaded expert."""
+        cfg = self.config
+        # Rows hitting this node's experts per step under uniform routing:
+        # every rank contributes tokens*top_k slots spread over ep_size.
+        rows = plan.tokens_per_rank * cfg.top_k  # group-total = rows*ep_size,
+        # per-node share is rows (uniform); imbalance scales the critical path.
+        flops = rows * cfg.num_moe_layers * 2.0 * cfg.ffn_expert_params
+        flops *= (1.0 + BACKWARD_MULTIPLIER) * plan.load_imbalance
+        return flops / self._node_flops()
+
+    def alltoall_time(self, plan: ParallelPlan) -> float:
+        """Token exchanges: (2 fwd + 2 bwd) per MoE layer over the EP group."""
+        cfg = self.config
+        if plan.ep_size == 1:
+            return 0.0
+        bytes_per_token = cfg.d_model * itemsize(cfg.dtype)
+        # Per-pair payload: this rank's routed slots spread over the group.
+        per_pair = (
+            plan.tokens_per_rank * cfg.top_k * bytes_per_token / plan.ep_size
+        ) * plan.load_imbalance
+        ranks = list(range(plan.ep_size))  # EP groups are consecutive ranks
+        one = self.network.alltoall_time(per_pair, ranks, algorithm=plan.alltoall)
+        return 4.0 * cfg.num_moe_layers * one
+
+    def dense_allreduce_time(self, plan: ParallelPlan) -> float:
+        """World-wide gradient allreduce of replicated parameters (fp32)."""
+        if plan.num_nodes == 1:
+            return 0.0
+        cfg = self.config
+        dense_count = (
+            cfg.attention_params
+            + cfg.dense_ffn_params
+            + cfg.layernorm_params
+            + cfg.embedding_params
+            + cfg.num_moe_layers * cfg.d_model * cfg.num_experts
+        )
+        nbytes = dense_count * 4
+        ranks = list(range(plan.num_nodes))
+        return self.network.allreduce_time(nbytes, ranks, algorithm=plan.allreduce)
+
+    def expert_allreduce_time(self, plan: ParallelPlan) -> float:
+        """Expert-gradient allreduce across EP-group replicas (fp32)."""
+        if plan.num_ep_groups == 1:
+            return 0.0
+        cfg = self.config
+        total_expert_params = (
+            cfg.num_moe_layers * cfg.num_experts * cfg.ffn_expert_params
+        )
+        nbytes = total_expert_params / plan.ep_size * 4
+        # EDP peers: same EP position in every group -> stride ep_size.
+        ranks = list(range(0, plan.num_nodes, plan.ep_size))
+        return self.network.allreduce_time(nbytes, ranks, algorithm=plan.allreduce)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    def step_breakdown(self, plan: ParallelPlan) -> StepBreakdown:
+        """All phase times for one synchronous training step."""
+        plan.validate_against(self.config)
+        if plan.num_nodes > self.machine.num_nodes:
+            raise ConfigError(
+                f"plan uses {plan.num_nodes} nodes but machine has "
+                f"{self.machine.num_nodes}"
+            )
+        return StepBreakdown(
+            dense_compute=self.dense_compute_time(plan),
+            expert_compute=self.expert_compute_time(plan),
+            alltoall=self.alltoall_time(plan),
+            dense_allreduce=self.dense_allreduce_time(plan),
+            expert_allreduce=self.expert_allreduce_time(plan),
+        )
+
+    def step_time(self, plan: ParallelPlan) -> float:
+        """Seconds per training step.
+
+        ``plan.overlap`` hides that fraction of the gradient-sync
+        communication behind backward compute (the token alltoalls are on
+        the critical path and never overlap).
+        """
+        bd = self.step_breakdown(plan)
+        sync = bd.dense_allreduce + bd.expert_allreduce
+        hidden = min(sync, plan.overlap * bd.compute)
+        return bd.total - hidden
+
+    def tokens_per_second(self, plan: ParallelPlan) -> float:
+        """Machine-wide training throughput."""
+        return plan.global_tokens / self.step_time(plan)
+
+    def achieved_flops(self, plan: ParallelPlan) -> float:
+        """Sustained training FLOP/s (useful-work FLOPs / step time)."""
+        from repro.perf.flops import step_flops
+
+        return step_flops(self.config, plan.global_tokens, plan.seq_len) / self.step_time(plan)
+
+    def parallel_efficiency(self, plan: ParallelPlan) -> float:
+        """Achieved / (nodes x single-node sustained compute throughput)."""
+        one = self.step_breakdown(
+            ParallelPlan(
+                num_nodes=1,
+                ep_size=1,
+                micro_batch=plan.micro_batch,
+                seq_len=plan.seq_len,
+            )
+        ).compute
+        per_node_ideal = plan.tokens_per_rank / one
+        return self.tokens_per_second(plan) / (per_node_ideal * plan.num_nodes)

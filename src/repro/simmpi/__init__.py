@@ -1,0 +1,36 @@
+"""Simulated MPI: thread-per-rank SPMD with an mpi4py-style API.
+
+The runtime is functionally faithful (messages, collectives, communicator
+splitting) and additionally maintains a per-rank **virtual clock** advanced
+by a :class:`~repro.network.NetworkModel`, so the same program yields both
+correct results and topology-aware simulated timings.
+"""
+
+from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Comm
+from repro.simmpi.engine import SpmdResult, run_spmd
+from repro.simmpi.faults import FaultPlan, MessageFault
+from repro.simmpi.hier import hierarchical_alltoall
+from repro.simmpi.payload import clone_payload, payload_nbytes
+from repro.simmpi.stats import TrafficStats
+from repro.simmpi.trace import TraceEvent, to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "Comm",
+    "SpmdResult",
+    "run_spmd",
+    "FaultPlan",
+    "hierarchical_alltoall",
+    "MessageFault",
+    "TrafficStats",
+    "TraceEvent",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "clone_payload",
+    "payload_nbytes",
+]

@@ -1,0 +1,653 @@
+"""The simulated MPI communicator.
+
+The API deliberately mirrors mpi4py's pickle-based interface
+(``Get_rank``, ``send``/``recv``, ``bcast``/``allreduce``/``alltoall``,
+``Split``...), so SPMD code written against this module reads like real
+mpi4py code. Two differences:
+
+* every operation also advances a per-rank **virtual clock** using the
+  attached :class:`~repro.network.NetworkModel` (when present), so runs
+  yield topology-aware simulated time for free;
+* payloads are deep-copied at the communication boundary, which makes the
+  shared-memory implementation behave like a real network.
+
+Concurrency model: one Python thread per rank; all shared state is guarded
+by a single world lock + condition variable (rank counts here are small, so
+a global lock is simpler and plenty fast).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError, DeadlockError, FaultInjected, RankAbort
+from repro.simmpi.faults import FaultPlan
+from repro.simmpi.payload import clone_payload, payload_nbytes
+from repro.simmpi.stats import TrafficStats
+
+__all__ = ["Comm", "ANY_SOURCE", "ANY_TAG", "SUM", "MAX", "MIN", "PROD"]
+
+#: Wildcard source for :meth:`Comm.recv`.
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`Comm.recv`.
+ANY_TAG = -1
+
+# Reduction op names (string constants, mpi4py-style usage: op=simmpi.SUM).
+SUM = "sum"
+MAX = "max"
+MIN = "min"
+PROD = "prod"
+
+_REDUCERS: dict[str, Callable[[Any, Any], Any]] = {
+    SUM: lambda a, b: a + b,
+    MAX: lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b),
+    MIN: lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b),
+    PROD: lambda a, b: a * b,
+}
+
+
+def _reduce_payloads(values: Sequence[Any], op: str) -> Any:
+    """Fold ``values`` with the named reduction, left to right."""
+    if op not in _REDUCERS:
+        raise CommunicatorError(f"unknown reduction op {op!r}")
+    fn = _REDUCERS[op]
+    acc = values[0]
+    for v in values[1:]:
+        acc = fn(acc, v)
+    return acc
+
+
+@dataclass
+class _Envelope:
+    source: int  # world rank
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float  # virtual arrival time
+
+
+class _World:
+    """State shared by every rank thread of one SPMD run."""
+
+    def __init__(
+        self,
+        size: int,
+        network: Any | None,
+        timeout: float,
+        faults: FaultPlan | None,
+        trace: bool = False,
+    ):
+        self.size = size
+        self.network = network
+        self.lock = threading.Lock()
+        self.cv = threading.Condition(self.lock)
+        self.mailboxes: list[list[_Envelope]] = [[] for _ in range(size)]
+        self.clocks: list[float] = [0.0] * size
+        self.aborted = False
+        self.abort_exc: BaseException | None = None
+        self.deadline = time.monotonic() + timeout
+        self.faults = faults
+        self.stats = TrafficStats()
+        self.op_counters = [0] * size
+        from repro.simmpi.trace import TraceEvent  # local import: no cycle
+        self._trace_event_cls = TraceEvent
+        self.trace_events: list | None = [] if trace else None
+
+    def record(self, rank: int, op: str, t0: float, t1: float, nbytes: int = 0) -> None:
+        """Append a trace interval (call with the world lock held)."""
+        if self.trace_events is not None:
+            self.trace_events.append(
+                self._trace_event_cls(rank=rank, op=op, t_start=t0, t_end=t1, nbytes=nbytes)
+            )
+
+    # -- abort / wait helpers (call with lock held) --------------------- #
+
+    def abort(self, exc: BaseException) -> None:
+        with self.cv:
+            if not self.aborted:
+                self.aborted = True
+                self.abort_exc = exc
+            self.cv.notify_all()
+
+    def check_live(self) -> None:
+        if self.aborted:
+            raise RankAbort("another rank aborted the SPMD program")
+
+    def wait_for(self, predicate: Callable[[], bool], what: str) -> None:
+        """Block until ``predicate()`` under the world condition variable."""
+        while not predicate():
+            self.check_live()
+            remaining = self.deadline - time.monotonic()
+            if remaining <= 0:
+                exc = DeadlockError(f"timed out waiting for {what}")
+                # Unblock everyone else, then fail this rank.
+                self.aborted = True
+                self.abort_exc = exc
+                self.cv.notify_all()
+                raise exc
+            self.cv.wait(min(remaining, 0.2))
+        self.check_live()
+
+
+class _Round:
+    """One in-flight collective instance (op seq number on a comm)."""
+
+    __slots__ = ("op", "contribs", "clocks", "result", "computed", "pickups")
+
+    def __init__(self) -> None:
+        self.op: str | None = None
+        self.contribs: dict[int, Any] = {}
+        self.clocks: dict[int, float] = {}
+        self.result: Any = None
+        self.computed = False
+        self.pickups = 0
+
+
+class _CommState:
+    """Shared per-communicator state (member list + collective rounds)."""
+
+    #: Never deep-copied when passed through a rendezvous (shared handle).
+    __simmpi_no_clone__ = True
+
+    _next_context_id = 0
+    _context_lock = threading.Lock()
+
+    def __init__(self, world: _World, members: list[int]):
+        self.world = world
+        self.members = list(members)  # group rank -> world rank
+        self.rank_of_world = {w: i for i, w in enumerate(self.members)}
+        self.rounds: dict[int, _Round] = {}
+        self.seq = [0] * len(self.members)
+        with _CommState._context_lock:
+            self.context_id = _CommState._next_context_id
+            _CommState._next_context_id += 1
+
+
+class _SendRequest:
+    """Completed-at-creation request returned by :meth:`Comm.isend`."""
+
+    def __init__(self) -> None:
+        self._done = True
+
+    def test(self) -> tuple[bool, None]:
+        return True, None
+
+    def wait(self) -> None:
+        return None
+
+
+class _RecvRequest:
+    """Lazy receive request returned by :meth:`Comm.irecv`."""
+
+    def __init__(self, comm: "Comm", source: int, tag: int):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check; returns (done, value_or_None)."""
+        if self._done:
+            return True, self._value
+        got = self._comm._try_recv(self._source, self._tag)
+        if got is not None:
+            self._done = True
+            self._value = got[0]
+            return True, self._value
+        return False, None
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._value
+        self._value = self._comm.recv(source=self._source, tag=self._tag)
+        self._done = True
+        return self._value
+
+
+class Comm:
+    """A communicator handle held by one rank thread."""
+
+    def __init__(self, state: _CommState, group_rank: int):
+        self._state = state
+        self._group_rank = group_rank
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rank(self) -> int:
+        """This rank's index within the communicator."""
+        return self._group_rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._state.members)
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
+        return self.rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py naming
+        return self.size
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's index in the world communicator."""
+        return self._state.members[self._group_rank]
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """World ranks of every member, in group-rank order."""
+        return tuple(self._state.members)
+
+    @property
+    def network(self) -> Any | None:
+        """The attached :class:`~repro.network.NetworkModel`, if any."""
+        return self._state.world.network
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual clock in seconds."""
+        return self._state.world.clocks[self.world_rank]
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._state.world.stats
+
+    # ------------------------------------------------------------------ #
+    # Virtual time
+    # ------------------------------------------------------------------ #
+
+    def advance(self, seconds: float) -> None:
+        """Add local compute time to this rank's virtual clock."""
+        if seconds < 0:
+            raise CommunicatorError(f"cannot advance clock by {seconds}")
+        world = self._state.world
+        with world.lock:
+            t0 = world.clocks[self.world_rank]
+            world.clocks[self.world_rank] = t0 + seconds
+            world.record(self.world_rank, "compute", t0, t0 + seconds)
+
+    # ------------------------------------------------------------------ #
+    # Fault hook
+    # ------------------------------------------------------------------ #
+
+    def _tick_op(self) -> None:
+        world = self._state.world
+        with world.lock:
+            idx = world.op_counters[self.world_rank]
+            world.op_counters[self.world_rank] = idx + 1
+            plan = world.faults
+        if plan is not None and plan.should_kill(self.world_rank, idx):
+            raise FaultInjected(
+                f"rank {self.world_rank} killed by fault plan at op {idx}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Point-to-point
+    # ------------------------------------------------------------------ #
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager (buffered) send of a picklable object to ``dest``."""
+        self._tick_op()
+        self._check_peer(dest)
+        world = self._state.world
+        src_w = self.world_rank
+        dst_w = self._state.members[dest]
+        payload = clone_payload(obj)
+        nbytes = payload_nbytes(payload)
+        with world.cv:
+            world.check_live()
+            fault = world.faults.on_message(src_w, dst_w) if world.faults else None
+            if fault is not None and fault.drop:
+                world.stats.dropped_messages += 1
+                return
+            now = world.clocks[src_w]
+            if world.network is not None:
+                transit = world.network.p2p_time(nbytes, src_w, dst_w)
+                # Sender pays the startup (alpha) cost locally.
+                world.clocks[src_w] = now + world.network.p2p_time(0, src_w, dst_w)
+            else:
+                transit = 0.0
+            arrival = now + transit + (fault.delay if fault is not None else 0.0)
+            world.mailboxes[dst_w].append(
+                _Envelope(source=src_w, tag=tag, payload=payload, nbytes=nbytes, arrival=arrival)
+            )
+            world.stats.record_p2p(src_w, nbytes)
+            world.record(src_w, "send", now, world.clocks[src_w], nbytes)
+            world.cv.notify_all()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> _SendRequest:
+        """Non-blocking send (eager, so it completes immediately)."""
+        self.send(obj, dest, tag)
+        return _SendRequest()
+
+    def _match(self, source: int, tag: int) -> int | None:
+        """Index of the first matching envelope in my mailbox (lock held)."""
+        box = self._state.world.mailboxes[self.world_rank]
+        want_src = None if source == ANY_SOURCE else self._state.members[source]
+        for i, env in enumerate(box):
+            if want_src is not None and env.source != want_src:
+                continue
+            if tag != ANY_TAG and env.tag != tag:
+                continue
+            # Only accept messages from ranks within this communicator.
+            if env.source not in self._state.rank_of_world:
+                continue
+            return i
+        return None
+
+    def _try_recv(self, source: int, tag: int) -> tuple[Any] | None:
+        """Non-blocking receive; returns a 1-tuple or None."""
+        world = self._state.world
+        with world.cv:
+            idx = self._match(source, tag)
+            if idx is None:
+                return None
+            env = world.mailboxes[self.world_rank].pop(idx)
+            me = self.world_rank
+            world.clocks[me] = max(world.clocks[me], env.arrival)
+            return (env.payload,)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload object."""
+        self._tick_op()
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        world = self._state.world
+        with world.cv:
+            me = self.world_rank
+            t0 = world.clocks[me]
+            world.wait_for(lambda: self._match(source, tag) is not None,
+                           f"recv(source={source}, tag={tag}) on rank {self.rank}")
+            idx = self._match(source, tag)
+            assert idx is not None
+            env = world.mailboxes[self.world_rank].pop(idx)
+            world.clocks[me] = max(world.clocks[me], env.arrival)
+            world.record(me, "recv", t0, world.clocks[me], env.nbytes)
+            return env.payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> _RecvRequest:
+        """Non-blocking receive request; call ``.wait()`` for the payload."""
+        return _RecvRequest(self, source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive (deadlock-free for exchange patterns)."""
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already waiting."""
+        world = self._state.world
+        with world.lock:
+            return self._match(source, tag) is not None
+
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(
+                f"peer rank {rank} out of range for communicator of size {self.size}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Collective rendezvous machinery
+    # ------------------------------------------------------------------ #
+
+    def _rendezvous(self, op: str, contribution: Any) -> tuple[dict[int, Any], float]:
+        """Synchronize with all members; returns (contributions, t_start).
+
+        ``contributions`` maps group rank -> (cloned) payload. ``t_start``
+        is the max member clock at entry; the caller is responsible for
+        advancing clocks by the operation's modelled cost via
+        :meth:`_finish_collective`.
+        """
+        self._tick_op()
+        state = self._state
+        world = state.world
+        me = self._group_rank
+        with world.cv:
+            world.check_live()
+            seq = state.seq[me]
+            state.seq[me] += 1
+            rnd = state.rounds.get(seq)
+            if rnd is None:
+                rnd = _Round()
+                rnd.op = op
+                state.rounds[seq] = rnd
+            elif rnd.op != op:
+                exc = CommunicatorError(
+                    f"collective mismatch on comm {state.context_id}: rank {me} "
+                    f"called {op!r} but round {seq} started as {rnd.op!r}"
+                )
+                world.aborted = True
+                world.abort_exc = exc
+                world.cv.notify_all()
+                raise exc
+            if me in rnd.contribs:
+                raise CommunicatorError(
+                    f"rank {me} contributed twice to collective round {seq}"
+                )
+            rnd.contribs[me] = clone_payload(contribution)
+            rnd.clocks[me] = world.clocks[self.world_rank]
+            world.cv.notify_all()
+            world.wait_for(
+                lambda: len(rnd.contribs) == len(state.members),
+                f"collective {op!r} round {seq} ({len(rnd.contribs)}/{len(state.members)} arrived)",
+            )
+            t_start = max(rnd.clocks.values())
+            contribs = rnd.contribs
+            rnd.pickups += 1
+            if rnd.pickups == len(state.members):
+                del state.rounds[seq]
+            return contribs, t_start
+
+    def _finish_collective(self, op: str, t_start: float, cost: float, nbytes: int) -> None:
+        """Advance this rank's clock to the collective's completion time."""
+        world = self._state.world
+        with world.lock:
+            me = self.world_rank
+            t0 = world.clocks[me]
+            world.clocks[me] = max(world.clocks[me], t_start + cost)
+            world.record(me, op, t0, world.clocks[me], nbytes)
+            if self._group_rank == 0:
+                world.stats.record_collective(op, nbytes)
+
+    def _collective_cost(self, kind: str, nbytes: float, **kw: Any) -> float:
+        net = self._state.world.network
+        if net is None:
+            return 0.0
+        ranks = self._state.members
+        if kind == "barrier":
+            return net.barrier_time(ranks)
+        if kind == "bcast":
+            return net.bcast_time(nbytes, ranks)
+        if kind == "allreduce":
+            return net.allreduce_time(nbytes, ranks, algorithm=kw.get("algorithm"))
+        if kind == "reduce":
+            return net.reduce_time(nbytes, ranks)
+        if kind == "reduce_scatter":
+            return net.reduce_scatter_time(nbytes, ranks)
+        if kind == "allgather":
+            return net.allgather_time(nbytes, ranks)
+        if kind == "gather":
+            return net.gather_time(nbytes, ranks)
+        if kind == "scatter":
+            return net.scatter_time(nbytes, ranks)
+        if kind == "alltoall":
+            return net.alltoall_time(nbytes, ranks, algorithm=kw.get("algorithm"))
+        raise CommunicatorError(f"unknown collective kind {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+
+    def barrier(self) -> None:
+        """Block until every member arrives; synchronizes virtual clocks."""
+        _, t0 = self._rendezvous("barrier", None)
+        self._finish_collective("barrier", t0, self._collective_cost("barrier", 0), 0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        self._check_peer(root)
+        contribs, t0 = self._rendezvous("bcast", obj if self.rank == root else None)
+        payload = contribs[root]
+        nbytes = payload_nbytes(payload)
+        self._finish_collective("bcast", t0, self._collective_cost("bcast", nbytes), nbytes)
+        return clone_payload(payload)
+
+    def scatter(self, send_list: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter a length-``size`` sequence from ``root``."""
+        self._check_peer(root)
+        if self.rank == root:
+            if send_list is None or len(send_list) != self.size:
+                raise CommunicatorError(
+                    f"scatter root must pass a sequence of length {self.size}"
+                )
+        contribs, t0 = self._rendezvous("scatter", send_list if self.rank == root else None)
+        chunks = contribs[root]
+        mine = clone_payload(chunks[self.rank])
+        nbytes = payload_nbytes(mine)
+        self._finish_collective("scatter", t0, self._collective_cost("scatter", nbytes), nbytes)
+        return mine
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank to ``root`` (None elsewhere)."""
+        self._check_peer(root)
+        contribs, t0 = self._rendezvous("gather", obj)
+        nbytes = payload_nbytes(obj)
+        self._finish_collective("gather", t0, self._collective_cost("gather", nbytes), nbytes)
+        if self.rank != root:
+            return None
+        return [clone_payload(contribs[i]) for i in range(self.size)]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank to every rank."""
+        contribs, t0 = self._rendezvous("allgather", obj)
+        nbytes = payload_nbytes(obj)
+        self._finish_collective(
+            "allgather", t0, self._collective_cost("allgather", nbytes), nbytes
+        )
+        return [clone_payload(contribs[i]) for i in range(self.size)]
+
+    def reduce(self, value: Any, op: str = SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (None elsewhere)."""
+        self._check_peer(root)
+        contribs, t0 = self._rendezvous("reduce", value)
+        nbytes = payload_nbytes(value)
+        self._finish_collective("reduce", t0, self._collective_cost("reduce", nbytes), nbytes)
+        if self.rank != root:
+            return None
+        return _reduce_payloads([contribs[i] for i in range(self.size)], op)
+
+    def allreduce(self, value: Any, op: str = SUM, algorithm: str | None = None) -> Any:
+        """Reduce across all ranks; every rank returns the result.
+
+        ``algorithm`` optionally forces "ring" / "tree" / "hierarchical"
+        for the timing model (functional result is identical).
+        """
+        contribs, t0 = self._rendezvous("allreduce", value)
+        nbytes = payload_nbytes(value)
+        cost = self._collective_cost("allreduce", nbytes, algorithm=algorithm)
+        self._finish_collective("allreduce", t0, cost, nbytes)
+        return _reduce_payloads([contribs[i] for i in range(self.size)], op)
+
+    def reduce_scatter(self, chunks: Sequence[Any], op: str = SUM) -> Any:
+        """Each rank passes ``size`` chunks; returns the reduction of its own.
+
+        Equivalent to MPI_Reduce_scatter_block with object semantics: rank r
+        receives ``reduce(op, [chunks_from_rank_i[r] for i in ranks])``.
+        """
+        if len(chunks) != self.size:
+            raise CommunicatorError(
+                f"reduce_scatter needs {self.size} chunks, got {len(chunks)}"
+            )
+        contribs, t0 = self._rendezvous("reduce_scatter", list(chunks))
+        nbytes = payload_nbytes(chunks)
+        cost = self._collective_cost("reduce_scatter", nbytes)
+        self._finish_collective("reduce_scatter", t0, cost, nbytes)
+        mine = [contribs[i][self.rank] for i in range(self.size)]
+        return _reduce_payloads(mine, op)
+
+    def alltoall(self, send_list: Sequence[Any], algorithm: str | None = None) -> list[Any]:
+        """Total exchange: rank r receives ``send_list[r]`` from every rank.
+
+        ``algorithm`` optionally forces "flat" / "hierarchical" for the
+        timing model — this is the knob experiment F3 sweeps.
+        """
+        if len(send_list) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs {self.size} entries, got {len(send_list)}"
+            )
+        contribs, t0 = self._rendezvous("alltoall", list(send_list))
+        per_pair = max(payload_nbytes(x) for x in send_list) if send_list else 0
+        cost = self._collective_cost("alltoall", per_pair, algorithm=algorithm)
+        self._finish_collective("alltoall", t0, cost, per_pair * max(self.size - 1, 0))
+        return [clone_payload(contribs[i][self.rank]) for i in range(self.size)]
+
+    # ------------------------------------------------------------------ #
+    # Communicator management
+    # ------------------------------------------------------------------ #
+
+    def Split(self, color: int | None, key: int | None = None) -> "Comm | None":  # noqa: N802
+        """Partition the communicator by ``color``; order ranks by ``key``.
+
+        Ranks passing ``color=None`` opt out and receive ``None`` (like
+        ``MPI.UNDEFINED``).
+        """
+        me = self._group_rank
+        sort_key = me if key is None else key
+        contribs, t0 = self._rendezvous("split", (color, sort_key))
+        self._finish_collective("split", t0, self._collective_cost("barrier", 0), 0)
+        # Deterministically build one shared _CommState per color. Every
+        # member computes the same membership, but the state object must be
+        # shared — we stash it on the round via a second rendezvous where
+        # rank 0 of each color group allocates.
+        if color is None:
+            # Still participate in the allocation rendezvous to keep the
+            # collective streams aligned across members.
+            self._rendezvous("split-alloc", None)
+            return None
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for grank in range(self.size):
+            c, k = contribs[grank]
+            if c is None:
+                continue
+            groups.setdefault(c, []).append((k, grank))
+        members_by_color = {
+            c: [self._state.members[g] for _, g in sorted(pairs)]
+            for c, pairs in groups.items()
+        }
+        my_members = members_by_color[color]
+        leader = my_members[0]
+        state: _CommState | None = None
+        if self.world_rank == leader:
+            state = _CommState(self._state.world, my_members)
+        alloc_contribs, _ = self._rendezvous("split-alloc", state)
+        # Find the state allocated by my group's leader.
+        leader_grank = self._state.rank_of_world[leader]
+        shared = alloc_contribs[leader_grank]
+        assert isinstance(shared, _CommState)
+        return Comm(shared, shared.rank_of_world[self.world_rank])
+
+    def Dup(self) -> "Comm":  # noqa: N802
+        """Duplicate the communicator with a fresh collective context."""
+        state: _CommState | None = None
+        if self._group_rank == 0:
+            state = _CommState(self._state.world, list(self._state.members))
+        contribs, t0 = self._rendezvous("dup", state)
+        self._finish_collective("dup", t0, self._collective_cost("barrier", 0), 0)
+        shared = contribs[0]
+        assert isinstance(shared, _CommState)
+        return Comm(shared, self._group_rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Comm(rank={self.rank}/{self.size}, world_rank={self.world_rank}, "
+            f"ctx={self._state.context_id})"
+        )

@@ -1,0 +1,69 @@
+"""Fault injection for the simulated MPI runtime.
+
+Tests and resilience experiments can drop or delay individual messages, or
+kill a rank at a chosen operation index, and assert that the engine
+surfaces the failure as :class:`~repro.errors.FaultInjected` /
+:class:`~repro.errors.DeadlockError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "MessageFault"]
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """A fault applied to the nth message on a (src, dst) edge.
+
+    ``drop=True`` silently discards the message (the receiver will block
+    until the engine's deadlock timeout). ``delay`` adds virtual seconds to
+    the message's arrival time.
+    """
+
+    src: int
+    dst: int
+    match_index: int = 0
+    drop: bool = False
+    delay: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A collection of injected faults for one SPMD run."""
+
+    message_faults: list[MessageFault] = field(default_factory=list)
+    #: rank -> operation index at which the rank raises FaultInjected.
+    kill_rank_at_op: dict[int, int] = field(default_factory=dict)
+
+    _edge_counts: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+    def add_message_fault(self, fault: MessageFault) -> "FaultPlan":
+        self.message_faults.append(fault)
+        return self
+
+    def kill_rank(self, rank: int, at_op: int = 0) -> "FaultPlan":
+        """Schedule ``rank`` to die when it issues its ``at_op``-th operation."""
+        self.kill_rank_at_op[rank] = at_op
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Engine hooks (not thread-safe by themselves; the engine serializes
+    # access under the world lock).
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, src: int, dst: int) -> MessageFault | None:
+        """Return the fault matching this message occurrence, if any."""
+        key = (src, dst)
+        idx = self._edge_counts.get(key, 0)
+        self._edge_counts[key] = idx + 1
+        for fault in self.message_faults:
+            if fault.src == src and fault.dst == dst and fault.match_index == idx:
+                return fault
+        return None
+
+    def should_kill(self, rank: int, op_index: int) -> bool:
+        """True when ``rank`` must abort at ``op_index``."""
+        target = self.kill_rank_at_op.get(rank)
+        return target is not None and op_index >= target

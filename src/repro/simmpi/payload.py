@@ -1,0 +1,68 @@
+"""Payload helpers: cloning and byte-size estimation.
+
+Messages in the simulated MPI are deep-copied at send time so that a rank
+mutating its buffer after ``send`` cannot corrupt the receiver — matching
+the semantics of a real network transfer. Byte sizes feed the virtual
+clock's cost model.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from typing import Any
+
+import numpy as np
+
+__all__ = ["clone_payload", "payload_nbytes"]
+
+
+def clone_payload(obj: Any) -> Any:
+    """Deep-copy ``obj`` the way a network transfer would.
+
+    NumPy arrays are copied with ``np.copy`` (fast path, keeps dtype and
+    shape); containers are cloned recursively; immutable scalars are
+    returned as-is.
+    """
+    if getattr(obj, "__simmpi_no_clone__", False):
+        # Runtime-internal handles (e.g. shared communicator state) must be
+        # passed by reference through rendezvous, never copied.
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if obj is None or isinstance(obj, (int, float, complex, bool, str, bytes, frozenset)):
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(clone_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [clone_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {clone_payload(k): clone_payload(v) for k, v in obj.items()}
+    if isinstance(obj, set):
+        return {clone_payload(x) for x in obj}
+    return copy.deepcopy(obj)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of ``obj`` in bytes.
+
+    Exact for NumPy arrays and byte strings (the payloads that matter for
+    timing); a reasonable structural estimate for containers; a small
+    constant for scalars. The estimate only drives the virtual clock, not
+    correctness.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    return int(sys.getsizeof(obj))

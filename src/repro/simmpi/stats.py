@@ -1,0 +1,48 @@
+"""Traffic accounting for simulated MPI runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Counters accumulated by the engine during one SPMD run.
+
+    All byte figures are *logical payload* bytes (what the application
+    moved), not modelled wire bytes; the virtual clock already accounts for
+    protocol efficiency through the link model.
+    """
+
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    collective_calls: dict[str, int] = field(default_factory=dict)
+    collective_bytes: dict[str, int] = field(default_factory=dict)
+    bytes_sent_by_rank: dict[int, int] = field(default_factory=dict)
+    dropped_messages: int = 0
+
+    def record_p2p(self, src: int, nbytes: int) -> None:
+        self.p2p_messages += 1
+        self.p2p_bytes += nbytes
+        self.bytes_sent_by_rank[src] = self.bytes_sent_by_rank.get(src, 0) + nbytes
+
+    def record_collective(self, op: str, nbytes: int) -> None:
+        self.collective_calls[op] = self.collective_calls.get(op, 0) + 1
+        self.collective_bytes[op] = self.collective_bytes.get(op, 0) + nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.p2p_bytes + sum(self.collective_bytes.values())
+
+    def summary(self) -> dict[str, object]:
+        """A plain-dict snapshot convenient for logging."""
+        return {
+            "p2p_messages": self.p2p_messages,
+            "p2p_bytes": self.p2p_bytes,
+            "collective_calls": dict(self.collective_calls),
+            "collective_bytes": dict(self.collective_bytes),
+            "total_bytes": self.total_bytes,
+            "dropped_messages": self.dropped_messages,
+        }

@@ -1,0 +1,52 @@
+"""NumPy autograd engine with emulated low-precision dtypes."""
+
+from repro.tensor.dtype import DTYPES, DTypeSpec, as_dtype, itemsize, promote, quantize, storage_dtype
+from repro.tensor.tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, unbroadcast, zeros
+from repro.tensor import ops
+from repro.tensor.functional import (
+    cross_entropy,
+    dropout,
+    embedding,
+    gather_rows,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    scatter_rows,
+    silu,
+    softmax,
+)
+from repro.tensor.checkpoint import checkpoint
+from repro.tensor.gradcheck import gradcheck, numerical_grad
+
+__all__ = [
+    "DTYPES",
+    "DTypeSpec",
+    "as_dtype",
+    "itemsize",
+    "promote",
+    "quantize",
+    "storage_dtype",
+    "Tensor",
+    "is_grad_enabled",
+    "no_grad",
+    "ones",
+    "tensor",
+    "unbroadcast",
+    "zeros",
+    "ops",
+    "cross_entropy",
+    "dropout",
+    "embedding",
+    "gather_rows",
+    "scatter_rows",
+    "gelu",
+    "layer_norm",
+    "log_softmax",
+    "relu",
+    "silu",
+    "softmax",
+    "checkpoint",
+    "gradcheck",
+    "numerical_grad",
+]

@@ -1,0 +1,369 @@
+"""Primitive differentiable operations.
+
+Each op computes its forward result in NumPy, quantizes onto the output
+dtype grid, and registers a backward closure returning one gradient per
+parent (already unbroadcast to the parent's shape).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, _coerce, _make, result_dtype, unbroadcast
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "power",
+    "matmul",
+    "exp",
+    "log",
+    "tanh",
+    "sigmoid",
+    "maximum",
+    "where",
+    "reshape",
+    "transpose",
+    "getitem",
+    "concat",
+    "sum_",
+    "mean",
+    "max_",
+    "clip",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Elementwise binary
+# ---------------------------------------------------------------------- #
+
+def add(a: Any, b: Any) -> Tensor:
+    """Elementwise ``a + b`` with broadcasting."""
+    if not isinstance(a, Tensor):
+        a = _coerce(a, b)
+    b = _coerce(b, a)
+    out_dtype = result_dtype(a, b)
+    data = a.data + b.data
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return unbroadcast(g, a.shape), unbroadcast(g, b.shape)
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+def sub(a: Any, b: Any) -> Tensor:
+    """Elementwise ``a - b`` with broadcasting."""
+    if not isinstance(a, Tensor):
+        a = _coerce(a, b)
+    b = _coerce(b, a)
+    out_dtype = result_dtype(a, b)
+    data = a.data - b.data
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return unbroadcast(g, a.shape), unbroadcast(-g, b.shape)
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+def mul(a: Any, b: Any) -> Tensor:
+    """Elementwise ``a * b`` with broadcasting."""
+    if not isinstance(a, Tensor):
+        a = _coerce(a, b)
+    b = _coerce(b, a)
+    out_dtype = result_dtype(a, b)
+    data = a.data * b.data
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return unbroadcast(g * b.data, a.shape), unbroadcast(g * a.data, b.shape)
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+def div(a: Any, b: Any) -> Tensor:
+    """Elementwise ``a / b`` with broadcasting."""
+    if not isinstance(a, Tensor):
+        a = _coerce(a, b)
+    b = _coerce(b, a)
+    out_dtype = result_dtype(a, b)
+    data = a.data / b.data
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        ga = unbroadcast(g / b.data, a.shape)
+        gb = unbroadcast(-g * a.data / (b.data * b.data), b.shape)
+        return ga, gb
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    """Elementwise negation."""
+    return _make(-a.data, a.dtype, (a,), lambda g: (-g,))
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise ``a ** p`` for a scalar exponent."""
+    p = float(exponent)
+    data = a.data ** p
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g * p * a.data ** (p - 1.0),)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def maximum(a: Any, b: Any) -> Tensor:
+    """Elementwise max; gradient routes to the winner (ties go to ``a``)."""
+    if not isinstance(a, Tensor):
+        a = _coerce(a, b)
+    b = _coerce(b, a)
+    out_dtype = result_dtype(a, b)
+    data = np.maximum(a.data, b.data)
+    mask = (a.data >= b.data)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return unbroadcast(g * mask, a.shape), unbroadcast(g * ~mask, b.shape)
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+def where(cond: np.ndarray, a: Any, b: Any) -> Tensor:
+    """Select ``a`` where ``cond`` else ``b``; ``cond`` is non-differentiable."""
+    cond = np.asarray(cond, dtype=bool)
+    if not isinstance(a, Tensor) and not isinstance(b, Tensor):
+        raise ShapeError("where() needs at least one Tensor operand")
+    if not isinstance(a, Tensor):
+        a = _coerce(a, b)
+    b = _coerce(b, a)
+    out_dtype = result_dtype(a, b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (
+            unbroadcast(np.where(cond, g, 0.0), a.shape),
+            unbroadcast(np.where(cond, 0.0, g), b.shape),
+        )
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Elementwise unary
+# ---------------------------------------------------------------------- #
+
+def exp(a: Tensor) -> Tensor:
+    """Elementwise natural exponential."""
+    data = np.exp(a.data)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g * data,)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    data = np.log(a.data)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g / a.data,)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    data = np.tanh(a.data)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g * (1.0 - data * data),)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    """Numerically-stable logistic sigmoid."""
+    x = a.data
+    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g * data * (1.0 - data),)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def clip(a: Tensor, lo: float, hi: float) -> Tensor:
+    """Clamp values to [lo, hi]; gradient is zero outside the interval."""
+    data = np.clip(a.data, lo, hi)
+    mask = (a.data >= lo) & (a.data <= hi)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g * mask,)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Linear algebra
+# ---------------------------------------------------------------------- #
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matrix multiplication with NumPy's ``@`` broadcasting."""
+    if not isinstance(a, Tensor) or not isinstance(b, Tensor):
+        raise ShapeError("matmul requires Tensor operands")
+    out_dtype = result_dtype(a, b)
+    data = a.data @ b.data
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        if a.ndim == 1 and b.ndim == 1:
+            # Inner product: g is scalar.
+            return g * b.data, g * a.data
+        if a.ndim == 1:
+            # (K,) @ (..., K, N) -> (..., N)
+            ga = (g[..., None, :] @ np.swapaxes(b.data, -1, -2)).reshape(b.data.shape[:-2] + a.shape)
+            ga = unbroadcast(ga, a.shape)
+            gb = unbroadcast(a.data[..., :, None] @ g[..., None, :], b.shape)
+            return ga, gb
+        if b.ndim == 1:
+            # (..., M, K) @ (K,) -> (..., M)
+            ga = unbroadcast(g[..., :, None] @ b.data[None, :], a.shape)
+            gb = unbroadcast(np.swapaxes(a.data, -1, -2) @ g[..., :, None], (b.shape[0], 1)).reshape(b.shape)
+            return ga, gb
+        ga = unbroadcast(g @ np.swapaxes(b.data, -1, -2), a.shape)
+        gb = unbroadcast(np.swapaxes(a.data, -1, -2) @ g, b.shape)
+        return ga, gb
+
+    return _make(data, out_dtype, (a, b), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Shape manipulation
+# ---------------------------------------------------------------------- #
+
+def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reshape preserving order; grad reshapes back."""
+    data = a.data.reshape(shape)
+    src_shape = a.shape
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (g.reshape(src_shape),)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def transpose(a: Tensor, axes: tuple[int, ...] | None = None) -> Tensor:
+    """Axis permutation; grad applies the inverse permutation."""
+    data = np.transpose(a.data, axes)
+    if axes is None:
+        inv = None
+    else:
+        inv = tuple(np.argsort(axes))
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return (np.transpose(g, inv),)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def getitem(a: Tensor, index: Any) -> Tensor:
+    """Basic/advanced indexing; grad scatter-adds into the source shape."""
+    data = a.data[index]
+    src_shape = a.shape
+    src_np = a.data.dtype
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        out = np.zeros(src_shape, dtype=src_np)
+        np.add.at(out, index, g)
+        return (out,)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate along ``axis``; grad splits back."""
+    if not tensors:
+        raise ShapeError("concat() of an empty sequence")
+    out_dtype = tensors[0].dtype
+    for t in tensors[1:]:
+        out_dtype = result_dtype_pair(out_dtype, t.dtype)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        grads = []
+        for i in range(len(tensors)):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(sl)])
+        return grads
+
+    return _make(data, out_dtype, tuple(tensors), backward)
+
+
+def result_dtype_pair(a, b):
+    """Promote two DTypeSpec values (helper for n-ary ops)."""
+    from repro.tensor.dtype import promote
+    return promote(a, b)
+
+
+# ---------------------------------------------------------------------- #
+# Reductions
+# ---------------------------------------------------------------------- #
+
+def sum_(a: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all axes by default)."""
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+    src_shape = a.shape
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        gg = g
+        if not keepdims and axis is not None:
+            gg = np.expand_dims(g, axis)
+        elif not keepdims and axis is None:
+            gg = np.asarray(g).reshape((1,) * len(src_shape))
+        return (np.broadcast_to(gg, src_shape).copy(),)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def mean(a: Tensor, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis``."""
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    src_shape = a.shape
+    count = a.data.size if axis is None else np.prod(
+        [src_shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        gg = g
+        if not keepdims and axis is not None:
+            gg = np.expand_dims(g, axis)
+        elif not keepdims and axis is None:
+            gg = np.asarray(g).reshape((1,) * len(src_shape))
+        return (np.broadcast_to(gg, src_shape) / count,)
+
+    return _make(data, a.dtype, (a,), backward)
+
+
+def max_(a: Tensor, axis: int | None = None, keepdims: bool = False) -> Tensor:
+    """Max reduction; gradient flows to (all) argmax positions."""
+    data = a.data.max(axis=axis, keepdims=keepdims)
+    expanded = a.data.max(axis=axis, keepdims=True) if axis is not None else a.data.max()
+    mask = (a.data == expanded)
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        gg = g
+        if not keepdims and axis is not None:
+            gg = np.expand_dims(g, axis)
+        elif not keepdims and axis is None:
+            gg = np.asarray(g).reshape((1,) * a.ndim)
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        return (np.broadcast_to(gg, a.shape) * mask / counts,)
+
+    return _make(data, a.dtype, (a,), backward)

@@ -1,0 +1,349 @@
+"""A minimal reverse-mode autograd engine over NumPy.
+
+Design follows the classic tape-free graph approach (each output tensor
+holds references to its parents and a backward closure); all math is
+vectorized NumPy. Every operation quantizes its output onto the tensor's
+emulated dtype grid (see :mod:`repro.tensor.dtype`), so fp16/bf16 runs
+faithfully reproduce rounding and overflow behaviour.
+
+Gradients are accumulated in the tensor's own dtype: an fp16 tensor gets
+fp16-quantized gradients, which is what makes dynamic loss scaling (in
+:mod:`repro.amp`) observable and necessary, exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.dtype import DTypeSpec, as_dtype, promote, quantize, storage_dtype
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones", "unbroadcast"]
+
+
+class _GradMode(threading.local):
+    enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction inside the ``with`` block (thread-local)."""
+    prev = _grad_mode.enabled
+    _grad_mode.enabled = False
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = prev
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _grad_mode.enabled
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting.
+
+    Sums over axes that were added or expanded by broadcasting; the inverse
+    of the implicit expand in forward ops.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that broadcasting prepended.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape != shape:
+        raise ShapeError(f"cannot unbroadcast grad of shape {grad.shape} to {shape}")
+    return grad
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like initial value; stored quantized to ``dtype``.
+    requires_grad:
+        Whether to accumulate gradients into ``.grad`` on backward.
+    dtype:
+        Emulated dtype name ("fp64", "fp32", "fp16", "bf16").
+    name:
+        Optional label used in error messages and parameter listings.
+    """
+
+    __slots__ = ("data", "dtype", "requires_grad", "grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data: Any,
+        requires_grad: bool = False,
+        dtype: str | DTypeSpec = "fp32",
+        name: str | None = None,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None,
+    ):
+        spec = as_dtype(dtype)
+        self.data: np.ndarray = quantize(np.asarray(data), spec)
+        self.dtype: DTypeSpec = spec
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying storage array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Python scalar for 1-element tensors."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_err()
+
+    def _item_err(self) -> float:
+        raise ShapeError(f"item() requires a 1-element tensor, got shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.dtype, name=self.name)
+
+    def astype(self, dtype: str | DTypeSpec) -> "Tensor":
+        """Cast to another emulated dtype (differentiable: grad casts back)."""
+        spec = as_dtype(dtype)
+        out = _make(quantize(self.data, spec), spec, (self,),
+                    lambda g: (g.astype(storage_dtype(self.dtype), copy=False),))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Autograd
+    # ------------------------------------------------------------------ #
+
+    def _accumulate(self, g: np.ndarray) -> None:
+        """Add ``g`` into ``.grad``, quantized to this tensor's dtype."""
+        g = quantize(g, self.dtype)
+        if self.grad is None:
+            self.grad = g.copy()
+        else:
+            self.grad = quantize(self.grad + g, self.dtype)
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (scalar outputs in practice). Gradients
+        accumulate into ``.grad`` of every reachable tensor that has
+        ``requires_grad=True``; call :meth:`zero_grad` between steps.
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.shape:
+                raise ShapeError(
+                    f"backward grad shape {grad.shape} != tensor shape {self.shape}"
+                )
+
+        # Topological order via iterative DFS (recursion-free: deep MoE
+        # stacks easily exceed Python's recursion limit).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(g)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(g)
+            for parent, pg in zip(node._parents, parent_grads):
+                if pg is None:
+                    continue
+                pid = id(parent)
+                if pid in grads:
+                    grads[pid] = grads[pid] + pg
+                else:
+                    grads[pid] = pg
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Operator sugar (implementations live in repro.tensor.ops)
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.sub(other, self)
+
+    def __mul__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.div(other, self)
+
+    def __neg__(self):  # noqa: D105
+        from repro.tensor import ops
+        return ops.neg(self)
+
+    def __matmul__(self, other):  # noqa: D105
+        from repro.tensor import ops
+        return ops.matmul(self, other)
+
+    def __pow__(self, exponent):  # noqa: D105
+        from repro.tensor import ops
+        return ops.power(self, exponent)
+
+    def __getitem__(self, index):  # noqa: D105
+        from repro.tensor import ops
+        return ops.getitem(self, index)
+
+    def reshape(self, *shape):  # noqa: D102
+        from repro.tensor import ops
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, *axes):  # noqa: D102
+        from repro.tensor import ops
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.transpose(self, axes or None)
+
+    def sum(self, axis=None, keepdims=False):  # noqa: D102
+        from repro.tensor import ops
+        return ops.sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):  # noqa: D102
+        from repro.tensor import ops
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def exp(self):  # noqa: D102
+        from repro.tensor import ops
+        return ops.exp(self)
+
+    def log(self):  # noqa: D102
+        from repro.tensor import ops
+        return ops.log(self)
+
+    def tanh(self):  # noqa: D102
+        from repro.tensor import ops
+        return ops.tanh(self)
+
+    def sqrt(self):  # noqa: D102
+        from repro.tensor import ops
+        return ops.power(self, 0.5)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"Tensor(shape={self.shape}, dtype={self.dtype.name}, "
+            f"requires_grad={self.requires_grad}{label})"
+        )
+
+
+def _make(
+    data: np.ndarray,
+    dtype: DTypeSpec,
+    parents: tuple[Tensor, ...],
+    backward: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None,
+) -> Tensor:
+    """Internal op-output constructor; drops the graph under no_grad."""
+    track = _grad_mode.enabled and any(p.requires_grad or p._parents for p in parents)
+    return Tensor(
+        data,
+        requires_grad=False,
+        dtype=dtype,
+        _parents=parents if track else (),
+        _backward=backward if track else None,
+    )
+
+
+def tensor(data: Any, requires_grad: bool = False, dtype: str | DTypeSpec = "fp32") -> Tensor:
+    """Construct a leaf tensor (convenience alias of the constructor)."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape: int | Iterable[int], dtype: str | DTypeSpec = "fp32", requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros."""
+    shape = (shape,) if isinstance(shape, int) else tuple(shape)
+    return Tensor(np.zeros(shape), requires_grad=requires_grad, dtype=dtype)
+
+
+def ones(shape: int | Iterable[int], dtype: str | DTypeSpec = "fp32", requires_grad: bool = False) -> Tensor:
+    """A tensor of ones."""
+    shape = (shape,) if isinstance(shape, int) else tuple(shape)
+    return Tensor(np.ones(shape), requires_grad=requires_grad, dtype=dtype)
+
+
+def _coerce(x: Any, like: Tensor) -> Tensor:
+    """Promote scalars/arrays to tensors matching ``like``'s dtype."""
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(np.asarray(x), dtype=like.dtype)
+
+
+def result_dtype(a: Tensor, b: Tensor) -> DTypeSpec:
+    """Output dtype for a binary op."""
+    return promote(a.dtype, b.dtype)

@@ -1,0 +1,24 @@
+"""Training stack: optimizers, schedules, clipping, trainer, checkpoints."""
+
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.clip import clip_grad_norm, global_grad_norm
+from repro.train.optim import SGD, Adam, AdamW, Optimizer
+from repro.train.schedules import ConstantLR, LRSchedule, WarmupCosineLR, WarmupLinearLR
+from repro.train.trainer import StepResult, Trainer
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "ConstantLR",
+    "LRSchedule",
+    "WarmupCosineLR",
+    "WarmupLinearLR",
+    "StepResult",
+    "Trainer",
+]

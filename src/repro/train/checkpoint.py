@@ -1,0 +1,96 @@
+"""Checkpointing: model + optimizer + scaler state to a single .npz file."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.amp import DynamicLossScaler
+from repro.errors import CheckpointError
+from repro.models.module import Module
+from repro.train.optim import Optimizer
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    scaler: DynamicLossScaler | None = None,
+    step: int = 0,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Serialize training state to ``path`` (.npz). Returns the path."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for name, arr in model.state_dict().items():
+        arrays[f"model/{name}"] = arr
+    if optimizer is not None:
+        for name, val in optimizer.state_dict().items():
+            arrays[f"optim/{name}"] = np.asarray(val)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "step": int(step),
+        "scaler": scaler.state_dict() if scaler is not None else None,
+        "extra": extra or {},
+    }
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    scaler: DynamicLossScaler | None = None,
+    strict: bool = True,
+) -> dict[str, Any]:
+    """Restore state saved by :func:`save_checkpoint`.
+
+    Returns the metadata dict (including ``step``). Raises
+    :class:`~repro.errors.CheckpointError` on missing/corrupt files.
+    """
+    path = Path(path)
+    if not path.exists():
+        alt = path.with_suffix(path.suffix + ".npz")
+        if alt.exists():
+            path = alt
+        else:
+            raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        blob = np.load(path, allow_pickle=False)
+    except Exception as exc:  # zipfile/format errors
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if "__meta__" not in blob:
+        raise CheckpointError(f"{path} is not a repro checkpoint (missing __meta__)")
+    meta = json.loads(bytes(blob["__meta__"]).decode("utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {meta.get('format_version')!r}"
+        )
+
+    model_state = {
+        key[len("model/"):]: blob[key] for key in blob.files if key.startswith("model/")
+    }
+    model.load_state_dict(model_state, strict=strict)
+
+    if optimizer is not None:
+        optim_state = {
+            key[len("optim/"):]: blob[key] for key in blob.files if key.startswith("optim/")
+        }
+        if optim_state:
+            # Scalars were saved as 0-d arrays.
+            optimizer.load_state_dict(
+                {k: (float(v) if v.ndim == 0 else v) for k, v in optim_state.items()}
+            )
+    if scaler is not None and meta.get("scaler") is not None:
+        scaler.load_state_dict(meta["scaler"])
+    return meta

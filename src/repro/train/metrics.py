@@ -1,0 +1,84 @@
+"""Training-metrics logging: JSONL and CSV writers.
+
+Large-scale runs live and die by their logs; this gives the examples and
+CLI a uniform, append-only, crash-safe (line-buffered) format.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+__all__ = ["MetricsLogger", "read_jsonl"]
+
+
+class MetricsLogger:
+    """Append metric records to a JSONL or CSV file.
+
+    The format is chosen by the file suffix (``.jsonl`` / ``.csv``). CSV
+    headers are fixed by the first record; later records must use the same
+    keys. Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        suffix = self.path.suffix.lower()
+        if suffix not in (".jsonl", ".csv"):
+            raise ConfigError(
+                f"metrics file must end in .jsonl or .csv, got {self.path.name!r}"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._needs_header = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "a", buffering=1, newline="")
+        self._format = suffix
+        self._csv_writer: csv.DictWriter | None = None
+        self._count = 0
+
+    def log(self, record: Mapping[str, Any]) -> None:
+        """Append one record (flat dict of JSON-serializable values)."""
+        record = dict(record)
+        if self._format == ".jsonl":
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            if self._csv_writer is None:
+                self._csv_writer = csv.DictWriter(self._fh, fieldnames=sorted(record))
+                if self._needs_header:
+                    self._csv_writer.writeheader()
+            try:
+                self._csv_writer.writerow(record)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"CSV record keys changed mid-file: {sorted(record)}"
+                ) from exc
+        self._count += 1
+
+    @property
+    def records_written(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "MetricsLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load every record of a JSONL metrics file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"metrics file not found: {path}")
+    out = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

@@ -1,0 +1,179 @@
+"""Single-process training loop (the reference the parallel paths match).
+
+Handles the full mixed-precision protocol: scaled loss, overflow detection,
+skipped steps, gradient clipping, and LR scheduling. The distributed
+trainers in :mod:`repro.parallel` reuse the same step anatomy with
+communication inserted at the gradient stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.amp import DynamicLossScaler, grads_have_overflow
+from repro.data.loader import Batch, ShardedLoader
+from repro.errors import ConfigError
+from repro.models.module import Module
+from repro.train.clip import clip_grad_norm, global_grad_norm
+from repro.train.optim import Optimizer
+from repro.train.schedules import ConstantLR, LRSchedule
+
+__all__ = ["StepResult", "Trainer"]
+
+
+@dataclass
+class StepResult:
+    """Metrics from one optimizer step attempt."""
+
+    step: int
+    loss: float
+    lr: float
+    grad_norm: float
+    skipped: bool
+    loss_scale: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+
+class Trainer:
+    """Glue between model, optimizer, schedule, loss scaler, and data.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.models.Module` exposing
+        ``loss(tokens, targets) -> Tensor``.
+    optimizer:
+        An :class:`~repro.train.optim.Optimizer` over the model parameters.
+    schedule:
+        LR schedule (constant when omitted; the optimizer's ``lr`` is
+        overwritten every step).
+    scaler:
+        Dynamic loss scaler; enables the fp16 protocol when given.
+    grad_clip:
+        Optional global-norm clip value.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        schedule: LRSchedule | None = None,
+        scaler: DynamicLossScaler | None = None,
+        grad_clip: float | None = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.schedule = schedule or ConstantLR(optimizer.lr)
+        self.scaler = scaler
+        self.grad_clip = grad_clip
+        if grad_clip is not None and grad_clip <= 0:
+            raise ConfigError(f"grad_clip must be > 0, got {grad_clip}")
+        self.step_count = 0
+        self.history: list[StepResult] = []
+
+    def train_step(self, batch: Batch) -> StepResult:
+        """Run forward/backward/update on one batch; returns metrics."""
+        return self.train_step_accumulated([batch])
+
+    def train_step_accumulated(self, batches: list[Batch]) -> StepResult:
+        """One optimizer step over several microbatches (gradient
+        accumulation): each backward is scaled by 1/len(batches), so the
+        update equals a single step on the concatenated batch."""
+        if not batches:
+            raise ConfigError("train_step_accumulated needs >= 1 batch")
+        lr = self.schedule(self.step_count)
+        self.optimizer.lr = lr
+        self.model.zero_grad()
+
+        scale = self.scaler.scale if self.scaler is not None else 1.0
+        inv_n = 1.0 / len(batches)
+        loss_value = 0.0
+        for batch in batches:
+            loss = self.model.loss(batch.tokens, batch.targets)
+            loss_value += float(loss.item()) * inv_n
+            loss.backward(np.asarray(scale * inv_n, dtype=loss.data.dtype))
+
+        inv = 1.0 / scale
+        skipped = False
+        if self.scaler is not None and grads_have_overflow(self.optimizer.params):
+            skipped = True
+            grad_norm = float("inf")
+            self.scaler.update(found_overflow=True)
+        else:
+            if self.grad_clip is not None:
+                grad_norm = clip_grad_norm(self.optimizer.params, self.grad_clip, grad_scale=inv)
+            else:
+                grad_norm = global_grad_norm(self.optimizer.params, grad_scale=inv)
+            self.optimizer.step(grad_scale=inv)
+            if self.scaler is not None:
+                self.scaler.update(found_overflow=False)
+
+        result = StepResult(
+            step=self.step_count,
+            loss=loss_value,
+            lr=lr,
+            grad_norm=grad_norm,
+            skipped=skipped,
+            loss_scale=scale,
+        )
+        self.step_count += 1
+        self.history.append(result)
+        return result
+
+    def evaluate(self, loader: ShardedLoader, num_steps: int, start_step: int = 0) -> dict[str, float]:
+        """Held-out evaluation: mean loss and perplexity over ``num_steps``
+        batches, without touching gradients or the step counter."""
+        if num_steps < 1:
+            raise ConfigError(f"num_steps must be >= 1, got {num_steps}")
+        from repro.tensor import no_grad
+
+        was_training = self.model.training
+        self.model.eval()
+        total, count = 0.0, 0
+        try:
+            with no_grad():
+                for batch in loader.iter_batches(num_steps, start_step=start_step):
+                    loss = self.model.loss(batch.tokens, batch.targets)
+                    total += float(loss.item())
+                    count += 1
+        finally:
+            if was_training:
+                self.model.train()
+        mean = total / count
+        return {"loss": mean, "perplexity": float(np.exp(min(mean, 50.0)))}
+
+    def fit(
+        self,
+        loader: ShardedLoader,
+        num_steps: int,
+        log_every: int = 0,
+        on_step: Callable[[StepResult], None] | None = None,
+        accumulate_steps: int = 1,
+    ) -> list[StepResult]:
+        """Train for ``num_steps`` optimizer steps from ``loader``.
+
+        With ``accumulate_steps > 1``, each optimizer step consumes that
+        many consecutive loader batches (gradient accumulation).
+        """
+        if num_steps < 1:
+            raise ConfigError(f"num_steps must be >= 1, got {num_steps}")
+        if accumulate_steps < 1:
+            raise ConfigError(f"accumulate_steps must be >= 1, got {accumulate_steps}")
+        results = []
+        for _ in range(num_steps):
+            base = self.step_count * accumulate_steps
+            batches = [loader.get_batch(base + i) for i in range(accumulate_steps)]
+            result = self.train_step_accumulated(batches)
+            results.append(result)
+            if on_step is not None:
+                on_step(result)
+            if log_every and result.step % log_every == 0:
+                print(
+                    f"step {result.step:5d}  loss {result.loss:.4f}  "
+                    f"lr {result.lr:.2e}  |g| {result.grad_norm:.3f}"
+                    + ("  [skipped]" if result.skipped else "")
+                )
+        return results

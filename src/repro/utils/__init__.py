@@ -1,0 +1,25 @@
+"""Small shared utilities: seeding, humanized units, math helpers."""
+
+from repro.utils.seeding import derive_seed, rng_for_rank
+from repro.utils.units import (
+    format_bytes,
+    format_count,
+    format_flops,
+    format_time,
+    parse_bytes,
+)
+from repro.utils.mathx import ceil_div, is_power_of_two, next_power_of_two, prod
+
+__all__ = [
+    "derive_seed",
+    "rng_for_rank",
+    "format_bytes",
+    "format_count",
+    "format_flops",
+    "format_time",
+    "parse_bytes",
+    "ceil_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "prod",
+]

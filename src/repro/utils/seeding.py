@@ -1,0 +1,41 @@
+"""Deterministic seed derivation.
+
+Every stochastic component in the library (rank-local RNGs, data shuffling,
+gate noise, parameter init) derives its seed from a single user seed plus a
+stable string *stream* name, so that runs are reproducible regardless of
+thread scheduling and of how many other components consumed randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "rng_for_rank"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int, *streams: object) -> int:
+    """Derive a 64-bit seed from ``base_seed`` and a tuple of stream labels.
+
+    The derivation is a SHA-256 hash of the textual representation, so it is
+    stable across processes and Python versions (unlike ``hash()``).
+
+    Parameters
+    ----------
+    base_seed:
+        The user-facing experiment seed.
+    streams:
+        Arbitrary labels (strings, ints) identifying the consumer, e.g.
+        ``derive_seed(seed, "dataloader", epoch, rank)``.
+    """
+    text = repr((int(base_seed),) + tuple(streams))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & _MASK64
+
+
+def rng_for_rank(base_seed: int, rank: int, stream: str = "rank") -> np.random.Generator:
+    """Return a NumPy Generator unique to ``(base_seed, stream, rank)``."""
+    return np.random.default_rng(derive_seed(base_seed, stream, rank))

@@ -1,0 +1,133 @@
+"""CLI commands and the metrics logger."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigError
+from repro.train.metrics import MetricsLogger, read_jsonl
+
+
+class TestMetricsLogger:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsLogger(path) as logger:
+            logger.log({"step": 0, "loss": 1.5})
+            logger.log({"step": 1, "loss": 1.2})
+        records = read_jsonl(path)
+        assert records == [{"step": 0, "loss": 1.5}, {"step": 1, "loss": 1.2}]
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsLogger(path) as logger:
+            logger.log({"a": 1})
+        with MetricsLogger(path) as logger:
+            logger.log({"a": 2})
+        assert [r["a"] for r in read_jsonl(path)] == [1, 2]
+
+    def test_csv_with_header(self, tmp_path):
+        path = tmp_path / "m.csv"
+        with MetricsLogger(path) as logger:
+            logger.log({"step": 0, "loss": 2.0})
+            logger.log({"step": 1, "loss": 1.0})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "loss,step"
+        assert len(lines) == 3
+
+    def test_csv_rejects_key_change(self, tmp_path):
+        with MetricsLogger(tmp_path / "m.csv") as logger:
+            logger.log({"a": 1})
+            with pytest.raises(ConfigError):
+                logger.log({"b": 2})
+
+    def test_bad_suffix(self, tmp_path):
+        with pytest.raises(ConfigError):
+            MetricsLogger(tmp_path / "m.txt")
+
+    def test_records_written_counter(self, tmp_path):
+        with MetricsLogger(tmp_path / "m.jsonl") as logger:
+            assert logger.records_written == 0
+            logger.log({"x": 1})
+            assert logger.records_written == 1
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            read_jsonl(tmp_path / "nope.jsonl")
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_configs_command(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "bagualu-14.5T" in out
+        assert "14.50T" in out
+
+    def test_train_command_with_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "train.jsonl"
+        code = main([
+            "train", "--steps", "5", "--batch-size", "2", "--seq-len", "8",
+            "--metrics", str(metrics),
+        ])
+        assert code == 0
+        records = read_jsonl(metrics)
+        assert len(records) == 5
+        assert {"step", "loss", "lr", "skipped"} <= set(records[0])
+
+    def test_train_fp16(self, capsys):
+        assert main(["train", "--steps", "3", "--batch-size", "2",
+                     "--seq-len", "8", "--fp16"]) == 0
+        assert "[fp16]" in capsys.readouterr().out
+
+    def test_train_with_sampling(self, capsys):
+        assert main(["train", "--steps", "2", "--batch-size", "2",
+                     "--seq-len", "8", "--sample", "4"]) == 0
+        assert "greedy sample" in capsys.readouterr().out
+
+    def test_distributed_command(self, tmp_path, capsys):
+        metrics = tmp_path / "dist.jsonl"
+        code = main([
+            "distributed", "--world", "4", "--ep", "2", "--steps", "2",
+            "--batch-size", "2", "--seq-len", "8", "--supernode", "2",
+            "--metrics", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated step time" in out
+        assert len(read_jsonl(metrics)) == 2
+
+    def test_project_command(self, capsys):
+        assert main(["project", "--model", "174T", "--zero", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "173.99T" in out
+        assert "node memory" in out
+
+    def test_project_with_recompute(self, capsys):
+        main(["project", "--model", "14.5T"])
+        base = capsys.readouterr().out
+        main(["project", "--model", "14.5T", "--recompute"])
+        ck = capsys.readouterr().out
+        assert base != ck  # memory/step numbers must move
+
+    def test_gate_override(self, capsys):
+        assert main(["train", "--steps", "2", "--batch-size", "2",
+                     "--seq-len", "8", "--gate", "balanced"]) == 0
+
+
+class TestCLI3D:
+    def test_3d_command(self, capsys):
+        assert main(["3d", "--world", "4", "--pipe", "2", "--ep", "2",
+                     "--steps", "2", "--batch-size", "2", "--seq-len", "8",
+                     "--microbatches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3D grid" in out
+        assert "global loss" in out
+
+    def test_3d_pure_pipeline(self, capsys):
+        assert main(["3d", "--world", "2", "--pipe", "2", "--ep", "1",
+                     "--steps", "1", "--batch-size", "2", "--seq-len", "8"]) == 0
+        assert "pipe=2" in capsys.readouterr().out

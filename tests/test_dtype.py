@@ -1,0 +1,135 @@
+"""Emulated dtype behaviour: rounding grids, overflow, promotion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DtypeError
+from repro.tensor import DTYPES, as_dtype, itemsize, promote, quantize, storage_dtype
+
+floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32)
+
+
+class TestRegistry:
+    def test_known_dtypes(self):
+        assert set(DTYPES) == {"fp64", "fp32", "fp16", "bf16"}
+
+    def test_as_dtype_idempotent(self):
+        spec = as_dtype("fp16")
+        assert as_dtype(spec) is spec
+
+    def test_unknown_dtype(self):
+        with pytest.raises(DtypeError):
+            as_dtype("int4")
+
+    def test_itemsize_on_modelled_machine(self):
+        assert itemsize("fp64") == 8
+        assert itemsize("fp32") == 4
+        assert itemsize("fp16") == 2
+        assert itemsize("bf16") == 2
+
+    def test_storage_is_at_least_fp32(self):
+        assert storage_dtype("fp16") == np.float32
+        assert storage_dtype("bf16") == np.float32
+        assert storage_dtype("fp64") == np.float64
+
+
+class TestQuantizeFp16:
+    def test_exact_values_preserved(self):
+        x = np.array([0.0, 1.0, -2.5, 1024.0], dtype=np.float32)
+        assert np.array_equal(quantize(x, "fp16"), x)
+
+    def test_rounding_to_fp16_grid(self):
+        # 1 + 2^-11 is exactly representable in fp16; 1 + 2^-12 is not.
+        x = np.array([1.0 + 2**-12], dtype=np.float32)
+        q = quantize(x, "fp16")
+        assert q[0] in (1.0, 1.0 + 2**-11)
+
+    def test_overflow_to_inf(self):
+        q = quantize(np.array([1e5, -1e5]), "fp16")
+        assert np.isinf(q).all()
+        assert q[0] > 0 > q[1]
+
+    def test_underflow_flushes(self):
+        q = quantize(np.array([1e-10]), "fp16")
+        assert q[0] == 0.0
+
+    def test_nan_preserved(self):
+        assert np.isnan(quantize(np.array([np.nan]), "fp16"))[0]
+
+
+class TestQuantizeBf16:
+    def test_exact_values_preserved(self):
+        x = np.array([0.0, 1.0, -2.0, 0.5], dtype=np.float32)
+        assert np.array_equal(quantize(x, "bf16"), x)
+
+    def test_mantissa_truncation(self):
+        # bf16 keeps 8 mantissa bits: 1 + 2^-8 representable, 1 + 2^-9 not.
+        x = np.array([1.0 + 2**-9], dtype=np.float32)
+        q = quantize(x, "bf16")
+        assert q[0] in (1.0, 1.0 + 2**-8)
+
+    def test_large_dynamic_range_survives(self):
+        # The whole point of bf16: 1e38 does not overflow.
+        q = quantize(np.array([1e38]), "bf16")
+        assert np.isfinite(q[0])
+
+    def test_nan_preserved(self):
+        assert np.isnan(quantize(np.array([np.nan]), "bf16"))[0]
+
+    def test_inf_preserved(self):
+        q = quantize(np.array([np.inf, -np.inf]), "bf16")
+        assert np.isinf(q).all()
+
+    @given(floats)
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, v):
+        once = quantize(np.array([v], dtype=np.float32), "bf16")
+        twice = quantize(once, "bf16")
+        assert np.array_equal(once, twice) or (np.isnan(once).any() and np.isnan(twice).any())
+
+    @given(floats)
+    @settings(max_examples=100, deadline=None)
+    def test_relative_error_bounded(self, v):
+        q = float(quantize(np.array([v], dtype=np.float32), "bf16")[0])
+        # The relative-error bound holds for normal numbers only
+        # (subnormals lose precision absolutely, as in real bfloat16).
+        if abs(v) >= np.finfo(np.float32).tiny:
+            assert abs(q - v) <= abs(v) * 2**-8
+
+
+class TestQuantizeRoundTrips:
+    @given(floats)
+    @settings(max_examples=100, deadline=None)
+    def test_fp32_identity(self, v):
+        x = np.array([v], dtype=np.float32)
+        assert np.array_equal(quantize(x, "fp32"), x)
+
+    @given(floats)
+    @settings(max_examples=100, deadline=None)
+    def test_fp16_idempotent(self, v):
+        once = quantize(np.array([v], dtype=np.float32), "fp16")
+        twice = quantize(once, "fp16")
+        assert np.array_equal(once, twice)
+
+    @given(floats)
+    @settings(max_examples=50, deadline=None)
+    def test_fp16_monotone(self, v):
+        a = quantize(np.array([v], dtype=np.float32), "fp16")[0]
+        b = quantize(np.array([v + abs(v) * 0.1 + 1.0], dtype=np.float32), "fp16")[0]
+        assert a <= b
+
+
+class TestPromotion:
+    def test_fp32_beats_fp16(self):
+        assert promote("fp16", "fp32").name == "fp32"
+
+    def test_fp64_beats_everything(self):
+        for d in ("fp32", "fp16", "bf16"):
+            assert promote(d, "fp64").name == "fp64"
+
+    def test_bf16_beats_fp16(self):
+        assert promote("fp16", "bf16").name == "bf16"
+
+    def test_same_dtype(self):
+        assert promote("fp16", "fp16").name == "fp16"

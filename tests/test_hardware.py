@@ -1,0 +1,125 @@
+"""Machine model: specs, headline core counts, rooflines."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    SUNWAY_NODE,
+    SW26010_PRO,
+    MachineSpec,
+    NodeSpec,
+    ProcessorSpec,
+    Roofline,
+    kernel_time,
+    laptop_machine,
+    node_roofline,
+    sunway_machine,
+)
+
+
+class TestProcessorSpec:
+    def test_sw26010_core_count(self):
+        # 6 CGs x (1 MPE + 64 CPEs) = 390 cores.
+        assert SW26010_PRO.cores == 390
+
+    def test_flops_lookup(self):
+        assert SW26010_PRO.flops("fp64") == pytest.approx(14.0e12)
+        assert SW26010_PRO.flops("fp16") > SW26010_PRO.flops("fp32")
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ConfigError):
+            SW26010_PRO.flops("int8")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            ProcessorSpec(
+                name="bad", core_groups=0, mpe_per_group=1, cpe_per_group=1,
+                peak_flops={"fp32": 1.0}, memory_bytes=1, memory_bandwidth=1,
+            )
+        with pytest.raises(ConfigError):
+            ProcessorSpec(
+                name="bad", core_groups=1, mpe_per_group=1, cpe_per_group=1,
+                peak_flops={}, memory_bytes=1, memory_bandwidth=1,
+            )
+
+
+class TestMachine:
+    def test_headline_37_million_cores(self):
+        """The paper's title claim: 96,000 nodes > 37 million cores."""
+        machine = sunway_machine(96_000)
+        assert machine.total_cores == 96_000 * 390
+        assert machine.total_cores > 37_000_000
+
+    def test_peak_flops_scales_with_nodes(self):
+        m1 = sunway_machine(100)
+        m2 = sunway_machine(200)
+        assert m2.peak_flops("fp16") == pytest.approx(2 * m1.peak_flops("fp16"))
+
+    def test_sustained_below_peak(self):
+        m = sunway_machine(10)
+        assert m.sustained_flops("fp32") < m.peak_flops("fp32")
+
+    def test_headline_fp16_exaflops_class(self):
+        """Full machine peak fp16 is in the multi-EFLOPS class."""
+        m = sunway_machine(96_000)
+        assert m.peak_flops("fp16") > 1e18
+
+    def test_with_nodes(self):
+        m = sunway_machine(96_000).with_nodes(128)
+        assert m.num_nodes == 128
+        assert m.node is SUNWAY_NODE
+
+    def test_invalid_machine(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(name="x", node=SUNWAY_NODE, num_nodes=0)
+        with pytest.raises(ConfigError):
+            MachineSpec(name="x", node=SUNWAY_NODE, num_nodes=1, compute_efficiency=0.0)
+
+    def test_laptop_machine_small(self):
+        m = laptop_machine()
+        assert m.total_cores < 100
+
+    def test_node_spec_multiprocessor(self):
+        node = NodeSpec(processor=SW26010_PRO, processors_per_node=2)
+        assert node.cores == 780
+        assert node.flops("fp64") == pytest.approx(28e12)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = Roofline(peak_flops=1e12, memory_bandwidth=1e11)
+        assert r.ridge_intensity == pytest.approx(10.0)
+
+    def test_memory_bound_below_ridge(self):
+        r = Roofline(peak_flops=1e12, memory_bandwidth=1e11)
+        assert r.attainable(1.0) == pytest.approx(1e11)
+
+    def test_compute_bound_above_ridge(self):
+        r = Roofline(peak_flops=1e12, memory_bandwidth=1e11)
+        assert r.attainable(100.0) == pytest.approx(1e12)
+
+    def test_zero_intensity(self):
+        r = Roofline(peak_flops=1e12, memory_bandwidth=1e11)
+        assert r.attainable(0.0) == 0.0
+
+    def test_time_for_max_of_roofs(self):
+        r = Roofline(peak_flops=1e12, memory_bandwidth=1e11)
+        # 1e12 flops (1 s of compute) over 1e9 bytes (10 ms of memory).
+        assert r.time_for(1e12, 1e9) == pytest.approx(1.0)
+        # 1e9 flops (1 ms) over 1e12 bytes (10 s).
+        assert r.time_for(1e9, 1e12) == pytest.approx(10.0)
+
+    def test_node_roofline_efficiency(self):
+        full = node_roofline(SUNWAY_NODE, "fp32", efficiency=1.0)
+        half = node_roofline(SUNWAY_NODE, "fp32", efficiency=0.5)
+        assert half.peak_flops == pytest.approx(full.peak_flops / 2)
+
+    def test_kernel_time_positive(self):
+        assert kernel_time(SUNWAY_NODE, "fp16", 1e12, 1e9) > 0
+
+    def test_negative_inputs_rejected(self):
+        r = Roofline(peak_flops=1.0, memory_bandwidth=1.0)
+        with pytest.raises(ConfigError):
+            r.time_for(-1.0, 0.0)
+        with pytest.raises(ConfigError):
+            r.attainable(-1.0)

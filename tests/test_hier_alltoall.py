@@ -1,0 +1,100 @@
+"""Functional hierarchical alltoall: equivalence + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError
+from repro.network import sunway_network
+from repro.simmpi import hierarchical_alltoall, run_spmd
+
+
+def _exchange(size, group_size, payload_fn):
+    def program(comm):
+        send = [payload_fn(comm.rank, d) for d in range(comm.size)]
+        flat = comm.alltoall(list(send))
+        hier = hierarchical_alltoall(comm, send, group_size)
+        return flat, hier
+
+    return run_spmd(program, size, timeout=120)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("size,group", [(4, 2), (8, 2), (8, 4), (12, 3), (16, 4)])
+    def test_matches_flat_alltoall_scalars(self, size, group):
+        res = _exchange(size, group, lambda s, d: s * 1000 + d)
+        for flat, hier in res.returns:
+            assert flat == hier
+
+    def test_matches_flat_alltoall_arrays(self):
+        res = _exchange(
+            8, 4, lambda s, d: np.full(3, s * 10 + d, dtype=np.float64)
+        )
+        for flat, hier in res.returns:
+            for a, b in zip(flat, hier):
+                assert np.array_equal(a, b)
+
+    def test_variable_payload_sizes(self):
+        res = _exchange(
+            6, 3, lambda s, d: list(range(s + d + 1))
+        )
+        for flat, hier in res.returns:
+            assert flat == hier
+
+    def test_degenerate_groups(self):
+        # group_size == 1 and group_size == size both fall back to flat.
+        for group in (1, 4):
+            res = _exchange(4, group, lambda s, d: (s, d))
+            for flat, hier in res.returns:
+                assert flat == hier
+
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_shapes(self, groups, per_group):
+        size = groups * per_group
+        res = _exchange(size, per_group, lambda s, d: {"src": s, "dst": d})
+        for flat, hier in res.returns:
+            assert flat == hier
+
+
+class TestTrafficPattern:
+    def test_fewer_cross_group_bytes_per_message(self):
+        """The two-phase exchange aggregates inter-group traffic: the
+        inter phase sends num_groups-1 bundles instead of p-1 singles."""
+
+        def program(comm):
+            send = [np.zeros(64) for _ in range(comm.size)]
+            hierarchical_alltoall(comm, send, group_size=4)
+            return None
+
+        res = run_spmd(program, 8, network=sunway_network(8, supernode_size=4))
+        calls = res.stats.collective_calls
+        # Stats count once per sub-communicator leader: the intra phase
+        # runs on 2 groups, the inter phase on 4 position-comms -> 6.
+        assert calls["alltoall"] == 6
+        assert calls["split"] == 2
+
+    def test_virtual_time_positive(self):
+        def program(comm):
+            send = [np.zeros(1024) for _ in range(comm.size)]
+            hierarchical_alltoall(comm, send, group_size=4)
+            return comm.clock
+
+        res = run_spmd(program, 8, network=sunway_network(8, supernode_size=4))
+        assert res.simulated_time > 0
+
+
+class TestValidation:
+    def test_bad_group_size(self):
+        def program(comm):
+            hierarchical_alltoall(comm, [0] * comm.size, group_size=3)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(program, 4, timeout=60)
+
+    def test_bad_send_list_length(self):
+        def program(comm):
+            hierarchical_alltoall(comm, [0], group_size=2)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(program, 4, timeout=60)

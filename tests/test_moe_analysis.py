@@ -1,0 +1,112 @@
+"""Routing-analysis metrics: entropy and specialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.moe import expert_specialization, expert_usage_entropy, routing_entropy
+
+
+class TestRoutingEntropy:
+    def test_one_hot_router_is_zero_bits(self):
+        probs = np.zeros((5, 8))
+        probs[:, 3] = 1.0
+        assert routing_entropy(probs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_router_is_log2_e(self):
+        probs = np.full((5, 8), 1 / 8)
+        assert routing_entropy(probs) == pytest.approx(3.0)
+
+    def test_monotone_in_sharpness(self):
+        soft = np.full((4, 4), 0.25)
+        sharp = np.array([[0.7, 0.1, 0.1, 0.1]] * 4)
+        assert routing_entropy(sharp) < routing_entropy(soft)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ConfigError):
+            routing_entropy(np.ones((3, 4)))
+        with pytest.raises(ConfigError):
+            routing_entropy(np.zeros((0, 4)))
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_by_log2_e(self, e):
+        rng = np.random.default_rng(e)
+        probs = rng.dirichlet(np.ones(e), size=32)
+        h = routing_entropy(probs)
+        assert 0.0 <= h <= np.log2(e) + 1e-9
+
+
+class TestUsageEntropy:
+    def test_even_usage(self):
+        assert expert_usage_entropy(np.array([10, 10, 10, 10])) == pytest.approx(2.0)
+
+    def test_collapsed_usage(self):
+        assert expert_usage_entropy(np.array([40, 0, 0, 0])) == pytest.approx(0.0)
+
+    def test_empty_loads(self):
+        assert expert_usage_entropy(np.zeros(4)) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            expert_usage_entropy(np.zeros((2, 2)))
+
+
+class TestSpecialization:
+    def test_disjoint_vocabularies_max_mi(self):
+        """Each expert owns half the vocabulary: MI = H(expert) = 1 bit."""
+        tokens = np.arange(1000) % 8
+        experts = tokens // 4  # tokens 0-3 -> expert 0, 4-7 -> expert 1
+        mi = expert_specialization(tokens, experts, vocab_size=8, num_experts=2)
+        assert mi == pytest.approx(1.0, abs=1e-9)
+
+    def test_content_independent_routing_zero_mi(self):
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 16, size=20000)
+        experts = rng.integers(0, 4, size=20000)  # random gate
+        mi = expert_specialization(tokens, experts, vocab_size=16, num_experts=4)
+        assert mi < 0.02
+
+    def test_partial_specialization_between(self):
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(0, 8, size=10000)
+        # 70% content-routed, 30% random.
+        experts = np.where(rng.random(10000) < 0.7,
+                           tokens // 4, rng.integers(0, 2, size=10000))
+        mi = expert_specialization(tokens, experts, vocab_size=8, num_experts=2)
+        assert 0.05 < mi < 1.0
+
+    def test_nonnegative(self):
+        mi = expert_specialization(np.array([0, 1]), np.array([1, 0]), 2, 2)
+        assert mi >= 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            expert_specialization(np.array([0]), np.array([0, 1]), 2, 2)
+        with pytest.raises(ConfigError):
+            expert_specialization(np.array([5]), np.array([0]), 2, 2)
+        with pytest.raises(ConfigError):
+            expert_specialization(np.array([0]), np.array([9]), 2, 2)
+
+
+class TestOnRealGates:
+    def test_random_gate_less_specialized_than_topk(self):
+        from repro.data import SyntheticCorpus
+        from repro.models import Embedding, Linear
+        from repro.moe import make_gate
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(3)
+        corpus = SyntheticCorpus(vocab_size=64, seed=3)
+        tokens = corpus.sample(2048)
+        emb = Embedding(64, 16, rng)
+        router = Linear(16, 8, rng, bias=False)
+        logits = router(emb(tokens.reshape(1, -1)).reshape(-1, 16))
+
+        topk = make_gate("topk", 8)(logits, np.random.default_rng(0))
+        rand = make_gate("random", 8)(logits, np.random.default_rng(0))
+        mi_topk = expert_specialization(tokens, topk.indices[:, 0], 64, 8)
+        mi_rand = expert_specialization(tokens, rand.indices[:, 0], 64, 8)
+        # Content-based routing is tied to token identity; random is not.
+        assert mi_topk > 5 * max(mi_rand, 1e-3)

@@ -1,0 +1,169 @@
+"""3D parallelism (pipe x data x expert): grid math, training, equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch, ShardedLoader, SyntheticCorpus
+from repro.errors import ConfigError
+from repro.models import build_model, tiny_config
+from repro.parallel import Grid3D, Trainer3D, build_groups3d
+from repro.simmpi import run_spmd
+from repro.train import Adam, SGD
+
+CFG = tiny_config(n_layers=4, num_experts=4, aux_weight=0.0)
+
+
+class TestGrid3D:
+    def test_layout(self):
+        g = Grid3D(world_size=8, pipe_size=2, ep_size=2)
+        assert g.plane_size == 4
+        assert g.dp_size == 2
+        assert g.stage_of(5) == 1
+        assert g.plane_rank_of(5) == 1
+
+    def test_degenerate_grids(self):
+        assert Grid3D(4, 1, 1).plane_size == 4  # pure DP
+        assert Grid3D(4, 4, 1).plane_size == 1  # pure pipeline
+        assert Grid3D(4, 1, 4).dp_size == 1     # pure EP
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            Grid3D(world_size=6, pipe_size=4, ep_size=1)
+        with pytest.raises(ConfigError):
+            Grid3D(world_size=8, pipe_size=2, ep_size=3)
+
+
+class TestGroups3D:
+    def test_communicator_shapes(self):
+        def program(comm):
+            g = build_groups3d(comm, pipe_size=2, ep_size=2)
+            return (
+                g.pipe.size, g.plane.world.size, g.plane.ep.size,
+                g.plane.edp.size, g.stage, g.pipeline_id,
+            )
+
+        res = run_spmd(program, 8, timeout=300)
+        for r, (pipe, plane, ep, edp, stage, pid) in enumerate(res.returns):
+            assert pipe == 2
+            assert plane == 4
+            assert ep == 2
+            assert edp == 2
+            assert stage == r // 4
+            assert pid == r % 4
+
+    def test_pipeline_members_cross_planes(self):
+        def program(comm):
+            g = build_groups3d(comm, pipe_size=2, ep_size=2)
+            return g.pipe.members
+
+        res = run_spmd(program, 8, timeout=300)
+        assert res.returns[1] == (1, 5)  # same plane position, both stages
+
+
+def _train_3d(comm, pipe, ep, steps=4, cfg=CFG, seed=3, microbatches=2):
+    groups = build_groups3d(comm, pipe_size=pipe, ep_size=ep)
+    trainer = Trainer3D(cfg, groups, num_microbatches=microbatches, seed=seed)
+    trainer.attach_optimizer(Adam(trainer.stage.parameters(), lr=3e-3))
+    corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9, seed=5)
+    loader = ShardedLoader(
+        corpus, 4, 8, dp_rank=groups.pipeline_id, dp_size=groups.grid.plane_size
+    )
+    return [trainer.train_step(loader.get_batch(s)).global_loss for s in range(steps)]
+
+
+class TestTrainer3D:
+    def test_all_ranks_agree_and_converge(self):
+        res = run_spmd(_train_3d, 8, args=(2, 2, 6), timeout=600)
+        base = res.returns[0]
+        for r in res.returns[1:]:
+            assert np.allclose(r, base)
+        assert base[-1] < base[0]
+
+    def test_requires_attached_optimizer(self):
+        def program(comm):
+            groups = build_groups3d(comm, 2, 1)
+            trainer = Trainer3D(CFG, groups, num_microbatches=1)
+            trainer.train_step(Batch(np.zeros((2, 8), dtype=np.int64),
+                                     np.zeros((2, 8), dtype=np.int64), 0))
+
+        with pytest.raises(ConfigError):
+            run_spmd(program, 2, timeout=300)
+
+    def test_grid_shape_independence(self):
+        """The same global problem gives the same loss trajectory under
+        every 3D factorization (placement never changes numerics)."""
+        shapes = [
+            (4, 1, 1),  # pure DP over 4 pipelines of 1 stage
+            (4, 2, 1),  # 2 stages x 2 pipelines
+            (4, 1, 2),  # MoDa: ep=2, dp=2
+            (4, 2, 2),  # full 3D on 4 ranks: 2 stages x (dp1 x ep2)
+            (8, 2, 2),  # full 3D on 8 ranks
+        ]
+        trajectories = {}
+        for world, pipe, ep in shapes:
+            res = run_spmd(_train_3d, world, args=(pipe, ep, 3), timeout=600)
+            trajectories[(world, pipe, ep)] = res.returns[0]
+        # Same plane width => identical global batch => identical losses.
+        # (4,1,1) plane=4; (4,1,2) plane=4; (8,2,2) plane=4 — all match.
+        a = trajectories[(4, 1, 1)]
+        assert np.allclose(trajectories[(4, 1, 2)], a, atol=1e-4)
+        assert np.allclose(trajectories[(8, 2, 2)], a, atol=1e-4)
+        # (4,2,1) and (4,2,2) have plane=2 (different data) but must agree
+        # with each other.
+        b = trajectories[(4, 2, 1)]
+        assert np.allclose(trajectories[(4, 2, 2)], b, atol=1e-4)
+
+    def test_matches_single_process_reference(self):
+        """3D first-step loss == single-process loss on the global batch."""
+        corpus = SyntheticCorpus(vocab_size=CFG.vocab_size, predictability=0.9, seed=5)
+        plane = 2
+        batches = [
+            ShardedLoader(corpus, 4, 8, dp_rank=i, dp_size=plane).get_batch(0)
+            for i in range(plane)
+        ]
+        # Reference: a MoDa-built model on one rank (expert weights are
+        # seeded per global expert id, matching the 3D construction; a
+        # plain build_model draws experts from a different stream).
+        from repro.parallel import build_groups, build_moda_model
+
+        def build_ref(comm):
+            return build_moda_model(CFG, build_groups(comm, 1), seed=3)
+
+        ref = run_spmd(build_ref, 1, timeout=300).returns[0]
+        ref_loss = float(np.mean([
+            ref.loss(b.tokens, b.targets).item() for b in batches
+        ]))
+
+        def program(comm):
+            groups = build_groups3d(comm, pipe_size=2, ep_size=2)
+            trainer = Trainer3D(CFG, groups, num_microbatches=2, seed=3)
+            trainer.attach_optimizer(SGD(trainer.stage.parameters(), lr=1e-9))
+            loader = ShardedLoader(
+                corpus, 4, 8, dp_rank=groups.pipeline_id,
+                dp_size=groups.grid.plane_size,
+            )
+            return trainer.train_step(loader.get_batch(0)).global_loss
+
+        res = run_spmd(program, 4, timeout=600)
+        assert res.returns[0] == pytest.approx(ref_loss, abs=1e-5)
+
+    def test_fp16_scaled_3d_step(self):
+        from repro.amp import DynamicLossScaler
+
+        def program(comm):
+            groups = build_groups3d(comm, pipe_size=2, ep_size=2)
+            scaler = DynamicLossScaler(init_scale=2.0**8, growth_interval=10)
+            trainer = Trainer3D(CFG, groups, num_microbatches=2, seed=3,
+                                scaler=scaler)
+            trainer.attach_optimizer(Adam(trainer.stage.parameters(), lr=3e-3))
+            corpus = SyntheticCorpus(vocab_size=CFG.vocab_size, seed=5)
+            loader = ShardedLoader(corpus, 4, 8, dp_rank=groups.pipeline_id,
+                                   dp_size=groups.grid.plane_size)
+            out = [trainer.train_step(loader.get_batch(s)) for s in range(3)]
+            return [(r.global_loss, r.loss_scale, r.skipped) for r in out]
+
+        res = run_spmd(program, 8, timeout=600)
+        for per_rank in res.returns:
+            for loss, scale, skipped in per_rank:
+                assert np.isfinite(loss)
+                assert scale >= 1.0

@@ -1,0 +1,186 @@
+"""Pipeline parallelism: stage slicing, GPipe schedule, exact equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import build_model, tiny_config
+from repro.parallel import GPipeRunner, PipelineStage, pipeline_bubble_fraction, stage_bounds
+from repro.simmpi import run_spmd
+from repro.train import Adam
+
+# aux_weight=0 for exact-equivalence tests: the balance loss is not linear
+# in the batch partition, so microbatched aux differs from full-batch aux
+# by design (same is true of per-rank aux in data parallelism).
+CFG = tiny_config(n_layers=4, aux_weight=0.0)
+RNG = np.random.default_rng(0)
+
+
+class TestBubbleMath:
+    def test_no_bubble_single_stage(self):
+        assert pipeline_bubble_fraction(1, 4) == 0.0
+
+    def test_classic_formula(self):
+        assert pipeline_bubble_fraction(4, 4) == pytest.approx(3 / 7)
+        assert pipeline_bubble_fraction(4, 16) == pytest.approx(3 / 19)
+
+    def test_more_microbatches_smaller_bubble(self):
+        assert pipeline_bubble_fraction(4, 32) < pipeline_bubble_fraction(4, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            pipeline_bubble_fraction(0, 4)
+
+
+class TestStageBounds:
+    def test_even_split(self):
+        assert stage_bounds(4, 2, 0) == (0, 2)
+        assert stage_bounds(4, 2, 1) == (2, 4)
+
+    def test_uneven_split_covers_all(self):
+        spans = [stage_bounds(7, 3, s) for s in range(3)]
+        assert spans[0][0] == 0 and spans[-1][1] == 7
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_too_many_stages(self):
+        with pytest.raises(ConfigError):
+            stage_bounds(2, 3, 0)
+
+
+class TestPipelineStage:
+    def test_stage_weights_match_full_model_slice(self):
+        full = build_model(CFG, seed=7)
+        s0 = PipelineStage(CFG, num_stages=2, stage=0, seed=7)
+        s1 = PipelineStage(CFG, num_stages=2, stage=1, seed=7)
+        assert np.array_equal(s0.tok_emb.weight.data, full.tok_emb.weight.data)
+        assert np.array_equal(
+            s0.blocks[0].attn.qkv.weight.data, full.blocks[0].attn.qkv.weight.data
+        )
+        assert np.array_equal(
+            s1.blocks[0].attn.qkv.weight.data, full.blocks[2].attn.qkv.weight.data
+        )
+        assert np.array_equal(s1.lm_head.weight.data, full.lm_head.weight.data)
+
+    def test_stage_roles(self):
+        s0 = PipelineStage(CFG, 2, 0, seed=1)
+        s1 = PipelineStage(CFG, 2, 1, seed=1)
+        assert s0.is_first and not s0.is_last
+        assert s1.is_last and not s1.is_first
+        assert not hasattr(s1, "tok_emb")
+        assert not hasattr(s0, "lm_head")
+
+    def test_only_first_stage_embeds(self):
+        s1 = PipelineStage(CFG, 2, 1, seed=1)
+        with pytest.raises(ConfigError):
+            s1.embed(np.zeros((1, 4), dtype=np.int64))
+
+    def test_stage_param_partition_covers_model(self):
+        full = build_model(CFG, seed=3)
+        total = sum(
+            PipelineStage(CFG, 3, s, seed=3).num_parameters() for s in range(3)
+        )
+        assert total == full.num_parameters()
+
+
+def _reference_grads(tokens, targets, seed):
+    model = build_model(CFG, seed=seed)
+    model.loss(tokens, targets).backward()
+    return model, {n: (p.grad.copy() if p.grad is not None else None)
+                   for n, p in model.named_parameters()}
+
+
+class TestGPipeEquivalence:
+    @pytest.mark.parametrize("stages,microbatches", [(2, 1), (2, 2), (4, 4), (2, 4)])
+    def test_loss_matches_single_process(self, stages, microbatches):
+        tokens = RNG.integers(0, CFG.vocab_size, size=(4, 8))
+        targets = RNG.integers(0, CFG.vocab_size, size=(4, 8))
+        ref = build_model(CFG, seed=11)
+        ref_loss = ref.loss(tokens, targets).item()
+
+        def program(comm):
+            runner = GPipeRunner(CFG, comm, num_microbatches=microbatches, seed=11)
+            return runner.train_step(tokens, targets)
+
+        res = run_spmd(program, stages, timeout=300)
+        for loss in res.returns:
+            assert loss == pytest.approx(ref_loss, abs=1e-5)
+
+    def test_gradients_match_single_process(self):
+        tokens = RNG.integers(0, CFG.vocab_size, size=(4, 8))
+        targets = RNG.integers(0, CFG.vocab_size, size=(4, 8))
+        _, ref_grads = _reference_grads(tokens, targets, seed=13)
+
+        def program(comm):
+            runner = GPipeRunner(CFG, comm, num_microbatches=2, seed=13)
+            runner.train_step(tokens, targets)
+            # Map stage-local names back to full-model names.
+            out = {}
+            lo = runner.stage.lo
+            for name, p in runner.stage.named_parameters():
+                if name.startswith("blocks."):
+                    parts = name.split(".")
+                    parts[1] = str(int(parts[1]) + lo)
+                    name = ".".join(parts)
+                out[name] = p.grad.copy() if p.grad is not None else None
+            return out
+
+        res = run_spmd(program, 2, timeout=300)
+        combined = {}
+        for d in res.returns:
+            combined.update(d)
+        for name, ref in ref_grads.items():
+            got = combined.get(name)
+            if ref is None:
+                assert got is None or np.allclose(got, 0)
+                continue
+            assert got is not None, f"missing grad for {name}"
+            assert np.allclose(got, ref, atol=1e-5), f"grad mismatch for {name}"
+
+    def test_training_converges(self):
+        from repro.data import ShardedLoader, SyntheticCorpus
+
+        cfg = tiny_config(n_layers=4)  # aux on: functional check only
+
+        def program(comm):
+            runner = GPipeRunner(cfg, comm, num_microbatches=2, seed=1)
+            opt = Adam(runner.stage.parameters(), lr=3e-3)
+            corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9, seed=2)
+            loader = ShardedLoader(corpus, 4, 8)
+            losses = []
+            for step in range(8):
+                batch = loader.get_batch(step)
+                runner.stage.zero_grad()
+                losses.append(runner.train_step(batch.tokens, batch.targets))
+                opt.step()
+            return losses
+
+        res = run_spmd(program, 2, timeout=300)
+        losses = res.returns[0]
+        assert losses[-1] < losses[0]
+        assert np.allclose(res.returns[0], res.returns[1])
+
+    def test_batch_must_divide_microbatches(self):
+        def program(comm):
+            runner = GPipeRunner(CFG, comm, num_microbatches=3, seed=1)
+            runner.train_step(
+                np.zeros((4, 8), dtype=np.int64), np.zeros((4, 8), dtype=np.int64)
+            )
+
+        with pytest.raises(ConfigError):
+            run_spmd(program, 2, timeout=60)
+
+    def test_pipeline_comm_timed(self):
+        """Stage boundaries generate p2p traffic with virtual time."""
+        from repro.network import flat_network
+
+        tokens = RNG.integers(0, CFG.vocab_size, size=(4, 8))
+
+        def program(comm):
+            runner = GPipeRunner(CFG, comm, num_microbatches=4, seed=1)
+            runner.train_step(tokens, tokens)
+
+        res = run_spmd(program, 2, network=flat_network(2), timeout=300)
+        assert res.simulated_time > 0
+        # 4 microbatches x (1 fwd + 1 bwd) across one boundary.
+        assert res.stats.p2p_messages == 8

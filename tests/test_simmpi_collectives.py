@@ -1,0 +1,188 @@
+"""Collective semantics of the simulated MPI (functional correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.simmpi import MAX, MIN, PROD, SUM, run_spmd
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bcast_scalar(size):
+    res = run_spmd(lambda c: c.bcast(c.rank * 7 + 1, root=0), size)
+    assert res.returns == [1] * size
+
+
+def test_bcast_from_nonzero_root():
+    res = run_spmd(lambda c: c.bcast("hello" if c.rank == 2 else None, root=2), 4)
+    assert res.returns == ["hello"] * 4
+
+
+def test_bcast_array_is_private_copy():
+    def program(comm):
+        arr = comm.bcast(np.zeros(3) if comm.rank == 0 else None, root=0)
+        arr += comm.rank  # must not leak to other ranks
+        comm.barrier()
+        return float(arr.sum())
+
+    res = run_spmd(program, 3)
+    assert res.returns == [0.0, 3.0, 6.0]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_sum_scalar(size):
+    res = run_spmd(lambda c: c.allreduce(c.rank + 1), size)
+    assert res.returns == [size * (size + 1) // 2] * size
+
+
+def test_allreduce_ops():
+    def program(comm):
+        v = comm.rank + 1
+        return (
+            comm.allreduce(v, op=SUM),
+            comm.allreduce(v, op=MAX),
+            comm.allreduce(v, op=MIN),
+            comm.allreduce(v, op=PROD),
+        )
+
+    res = run_spmd(program, 4)
+    assert res.returns[0] == (10, 4, 1, 24)
+
+
+def test_allreduce_arrays_elementwise():
+    def program(comm):
+        x = np.array([comm.rank, -comm.rank], dtype=np.float64)
+        return comm.allreduce(x, op=MAX)
+
+    res = run_spmd(program, 4)
+    assert np.allclose(res.returns[0], [3, 0])
+
+
+def test_allreduce_unknown_op():
+    def program(comm):
+        comm.allreduce(1, op="median")
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(program, 2)
+
+
+def test_reduce_root_only():
+    def program(comm):
+        return comm.reduce(comm.rank, root=1)
+
+    res = run_spmd(program, 4)
+    assert res.returns == [None, 6, None, None]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    res = run_spmd(lambda c: c.allgather(c.rank**2), size)
+    assert res.returns == [[r**2 for r in range(size)]] * size
+
+
+def test_gather_root_only():
+    res = run_spmd(lambda c: c.gather(c.rank, root=0), 4)
+    assert res.returns[0] == [0, 1, 2, 3]
+    assert res.returns[1] is None
+
+
+def test_scatter():
+    def program(comm):
+        data = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    res = run_spmd(program, 4)
+    assert res.returns == ["item0", "item1", "item2", "item3"]
+
+
+def test_scatter_wrong_length_raises():
+    def program(comm):
+        data = [1, 2] if comm.rank == 0 else None
+        comm.scatter(data, root=0)
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(program, 3)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall_permutation(size):
+    def program(comm):
+        send = [comm.rank * 100 + d for d in range(comm.size)]
+        return comm.alltoall(send)
+
+    res = run_spmd(program, size)
+    for r in range(size):
+        assert res.returns[r] == [s * 100 + r for s in range(size)]
+
+
+def test_alltoall_wrong_length():
+    def program(comm):
+        comm.alltoall([1])
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(program, 3)
+
+
+def test_alltoall_variable_sizes():
+    """Alltoallv-style usage: each pair gets a differently-sized array."""
+
+    def program(comm):
+        send = [np.full(comm.rank + d + 1, comm.rank, dtype=np.int64) for d in range(comm.size)]
+        got = comm.alltoall(send)
+        return [int(a.sum()) for a in got]
+
+    res = run_spmd(program, 3)
+    # rank r receives from s an array of length s + r + 1 filled with s.
+    for r in range(3):
+        assert res.returns[r] == [s * (s + r + 1) for s in range(3)]
+
+
+def test_reduce_scatter():
+    def program(comm):
+        # Rank s contributes chunk j = s * 10 + j.
+        chunks = [comm.rank * 10 + j for j in range(comm.size)]
+        return comm.reduce_scatter(chunks)
+
+    res = run_spmd(program, 4)
+    # Rank r receives sum_s (s*10 + r) = 10*6 + 4r.
+    assert res.returns == [60 + 4 * r for r in range(4)]
+
+
+def test_reduce_scatter_wrong_length():
+    def program(comm):
+        comm.reduce_scatter([1])
+
+    with pytest.raises(CommunicatorError):
+        run_spmd(program, 2)
+
+
+def test_barrier_completes():
+    res = run_spmd(lambda c: (c.barrier(), c.rank)[1], 6)
+    assert res.returns == list(range(6))
+
+
+def test_collective_mismatch_detected():
+    def program(comm):
+        if comm.rank == 0:
+            comm.barrier()
+        else:
+            comm.allreduce(1)
+
+    with pytest.raises(CommunicatorError, match="mismatch"):
+        run_spmd(program, 2)
+
+
+def test_collectives_stream_many_rounds():
+    """Many back-to-back collectives keep their rounds separated."""
+
+    def program(comm):
+        total = 0
+        for i in range(50):
+            total += comm.allreduce(comm.rank + i)
+        return total
+
+    res = run_spmd(program, 3)
+    expected = sum(sum(r + i for r in range(3)) for i in range(50))
+    assert res.returns == [expected] * 3

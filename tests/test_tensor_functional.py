@@ -1,0 +1,201 @@
+"""Fused NN operations: gradcheck + behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import (
+    Tensor,
+    cross_entropy,
+    dropout,
+    embedding,
+    gather_rows,
+    gelu,
+    gradcheck,
+    layer_norm,
+    log_softmax,
+    relu,
+    scatter_rows,
+    silu,
+    softmax,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def t64(shape, scale=1.0):
+    return Tensor(RNG.normal(size=shape) * scale, requires_grad=True, dtype="fp64")
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        gradcheck(lambda ins: relu(ins[0]), [t64((6,))], atol=1e-4)
+
+    def test_gelu_grad(self):
+        gradcheck(lambda ins: gelu(ins[0]), [t64((6,))], rtol=1e-3)
+
+    def test_gelu_midpoint(self):
+        assert gelu(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_silu_grad(self):
+        gradcheck(lambda ins: silu(ins[0]), [t64((6,))], rtol=1e-3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        s = softmax(Tensor(RNG.normal(size=(4, 7))))
+        assert np.allclose(s.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_stability_large_logits(self):
+        s = softmax(Tensor([[1000.0, 1000.0]], dtype="fp64"))
+        assert np.allclose(s.data, 0.5)
+
+    def test_grad(self):
+        gradcheck(lambda ins: softmax(ins[0]), [t64((3, 5))])
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(RNG.normal(size=(2, 6)), dtype="fp64")
+        assert np.allclose(np.exp(log_softmax(x).data), softmax(x).data, atol=1e-10)
+
+    def test_log_softmax_grad(self):
+        gradcheck(lambda ins: log_softmax(ins[0]), [t64((2, 4))])
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_v(self):
+        logits = Tensor(np.zeros((5, 8)), dtype="fp64")
+        targets = np.arange(5) % 8
+        assert cross_entropy(logits, targets).item() == pytest.approx(np.log(8))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 4), -100.0)
+        logits[np.arange(3), [0, 1, 2]] = 100.0
+        loss = cross_entropy(Tensor(logits, dtype="fp64"), np.array([0, 1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_grad(self):
+        targets = RNG.integers(0, 6, size=4)
+        gradcheck(lambda ins: cross_entropy(ins[0], targets), [t64((4, 6))])
+
+    def test_ignore_index(self):
+        logits = t64((4, 5))
+        targets = np.array([1, 2, -1, 3])
+        loss = cross_entropy(logits, targets, ignore_index=-1)
+        loss.backward()
+        # The ignored row contributes no gradient.
+        assert np.allclose(logits.grad[2], 0.0)
+
+    def test_wrong_shapes(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 2, 2))), np.zeros(2, dtype=int))
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 4))), np.zeros(3, dtype=int))
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        x = Tensor(RNG.normal(size=(6, 16)) * 3 + 5)
+        w = Tensor(np.ones(16))
+        b = Tensor(np.zeros(16))
+        out = layer_norm(x, w, b).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_grads_all_inputs(self):
+        x, w, b = t64((3, 8)), t64((8,)), t64((8,))
+        gradcheck(lambda ins: layer_norm(ins[0], ins[1], ins[2]), [x, w, b], rtol=1e-3, atol=1e-5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            layer_norm(Tensor(np.zeros((2, 4))), Tensor(np.zeros(3)), Tensor(np.zeros(4)))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        w = Tensor(np.arange(12, dtype=np.float64).reshape(4, 3), dtype="fp64")
+        out = embedding(w, np.array([2, 0]))
+        assert np.allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_grad_scatter_adds_duplicates(self):
+        w = t64((4, 2))
+        ids = np.array([1, 1, 3])
+        out = embedding(w, ids)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(w.grad[1], 2.0)
+        assert np.allclose(w.grad[3], 1.0)
+        assert np.allclose(w.grad[0], 0.0)
+
+    def test_gradcheck(self):
+        ids = RNG.integers(0, 5, size=(2, 3))
+        gradcheck(lambda ins: embedding(ins[0], ids), [t64((5, 3))])
+
+    def test_out_of_range_ids(self):
+        with pytest.raises(ShapeError):
+            embedding(Tensor(np.zeros((3, 2))), np.array([5]))
+
+    def test_non_integer_ids(self):
+        with pytest.raises(ShapeError):
+            embedding(Tensor(np.zeros((3, 2))), np.array([0.5]))
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(RNG.normal(size=(5, 5)))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_p_zero_identity(self):
+        x = Tensor(RNG.normal(size=(5, 5)))
+        assert dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_expectation_preserved(self):
+        x = Tensor(np.ones((200, 200)), dtype="fp64")
+        out = dropout(x, 0.3, np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_deterministic_given_rng(self):
+        x = Tensor(np.ones((10, 10)))
+        a = dropout(x, 0.5, np.random.default_rng(3)).data
+        b = dropout(x, 0.5, np.random.default_rng(3)).data
+        assert np.array_equal(a, b)
+
+    def test_invalid_p(self):
+        with pytest.raises(ShapeError):
+            dropout(Tensor(np.zeros(2)), 1.0, np.random.default_rng(0))
+
+
+class TestGatherScatterRows:
+    def test_gather_rows(self):
+        x = Tensor(np.arange(8, dtype=np.float64).reshape(4, 2), dtype="fp64")
+        out = gather_rows(x, np.array([3, 0, 3]))
+        assert np.allclose(out.data, [[6, 7], [0, 1], [6, 7]])
+
+    def test_gather_grad_accumulates(self):
+        x = t64((4, 2))
+        idx = np.array([1, 1, 2])
+        gradcheck(lambda ins: gather_rows(ins[0], idx), [x])
+
+    def test_scatter_rows(self):
+        src = Tensor(np.ones((3, 2)), dtype="fp64")
+        out = scatter_rows(src, np.array([0, 0, 2]), num_rows=4)
+        assert np.allclose(out.data, [[2, 2], [0, 0], [1, 1], [0, 0]])
+
+    def test_scatter_grad(self):
+        src = t64((3, 2))
+        idx = np.array([0, 2, 2])
+        gradcheck(lambda ins: scatter_rows(ins[0], idx, 4), [src])
+
+    def test_scatter_gather_inverse(self):
+        """scatter(gather(x, idx), idx) == x when idx is a permutation."""
+        x = t64((5, 3))
+        perm = np.random.default_rng(0).permutation(5)
+        y = scatter_rows(gather_rows(x, perm), perm, 5)
+        assert np.allclose(y.data, x.data)
+
+    def test_scatter_bad_idx_shape(self):
+        with pytest.raises(ShapeError):
+            scatter_rows(Tensor(np.zeros((3, 2))), np.zeros((2,), dtype=int), 4)

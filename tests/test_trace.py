@@ -1,0 +1,121 @@
+"""Virtual-time tracing of SPMD runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.network import flat_network
+from repro.simmpi import TraceEvent, run_spmd, to_chrome_trace, write_chrome_trace
+
+
+def program(comm):
+    comm.advance(0.5)
+    comm.allreduce(np.ones(1000, dtype=np.float32))
+    if comm.rank == 0:
+        comm.send(b"payload!", dest=1)
+    elif comm.rank == 1:
+        comm.recv(source=0)
+    comm.barrier()
+
+
+class TestTracing:
+    def test_disabled_by_default(self):
+        res = run_spmd(program, 2, network=flat_network(2))
+        assert res.trace is None
+
+    def test_events_recorded(self):
+        res = run_spmd(program, 2, network=flat_network(2), trace=True)
+        ops = {e.op for e in res.trace}
+        assert {"compute", "allreduce", "send", "recv", "barrier"} <= ops
+
+    def test_events_per_rank(self):
+        res = run_spmd(program, 2, network=flat_network(2), trace=True)
+        ranks = {e.rank for e in res.trace}
+        assert ranks == {0, 1}
+        # Each rank: compute + allreduce + barrier (+ send or recv).
+        for r in (0, 1):
+            assert len([e for e in res.trace if e.rank == r]) == 4
+
+    def test_intervals_well_formed(self):
+        res = run_spmd(program, 2, network=flat_network(2), trace=True)
+        for e in res.trace:
+            assert e.t_end >= e.t_start >= 0.0
+            assert e.t_end <= res.simulated_time + 1e-12
+
+    def test_compute_interval_duration(self):
+        res = run_spmd(program, 2, network=flat_network(2), trace=True)
+        computes = [e for e in res.trace if e.op == "compute"]
+        assert all(e.duration == pytest.approx(0.5) for e in computes)
+
+    def test_send_bytes_recorded(self):
+        res = run_spmd(program, 2, network=flat_network(2), trace=True)
+        send = next(e for e in res.trace if e.op == "send")
+        assert send.nbytes == 8
+
+    def test_per_rank_events_are_ordered(self):
+        res = run_spmd(program, 2, network=flat_network(2), trace=True)
+        for r in (0, 1):
+            mine = [e for e in res.trace if e.rank == r]
+            starts = [e.t_start for e in mine]
+            assert starts == sorted(starts)
+
+    def test_works_without_network(self):
+        res = run_spmd(program, 2, trace=True)
+        # All events exist, timings are zero-duration except compute.
+        assert any(e.op == "allreduce" for e in res.trace)
+
+
+class TestChromeExport:
+    def _events(self):
+        return [
+            TraceEvent(rank=0, op="allreduce", t_start=0.0, t_end=1e-3, nbytes=4096),
+            TraceEvent(rank=1, op="compute", t_start=1e-3, t_end=2e-3),
+        ]
+
+    def test_records_shape(self):
+        records = to_chrome_trace(self._events())
+        assert len(records) == 2
+        first = records[0]
+        assert first["ph"] == "X"
+        assert first["name"] == "allreduce"
+        assert first["tid"] == 0
+        assert first["ts"] == pytest.approx(0.0)
+        assert first["dur"] == pytest.approx(1000.0)  # 1 ms -> 1000 us
+        assert first["args"]["nbytes"] == 4096
+
+    def test_zero_duration_clamped(self):
+        records = to_chrome_trace(
+            [TraceEvent(rank=0, op="barrier", t_start=1.0, t_end=1.0)]
+        )
+        assert records[0]["dur"] > 0
+
+    def test_write_file(self, tmp_path):
+        path = write_chrome_trace(self._events(), tmp_path / "trace.json")
+        blob = json.loads(path.read_text())
+        assert "traceEvents" in blob
+        assert len(blob["traceEvents"]) == 2
+
+    def test_end_to_end_trace_of_training(self, tmp_path):
+        """A full distributed training step produces a coherent trace."""
+        from repro.data import ShardedLoader, SyntheticCorpus
+        from repro.models import tiny_config
+        from repro.parallel import MoDaTrainer, build_groups, build_moda_model
+        from repro.train import Adam
+
+        cfg = tiny_config(num_experts=4)
+
+        def train(comm):
+            groups = build_groups(comm, 2)
+            model = build_moda_model(cfg, groups, seed=1)
+            trainer = MoDaTrainer(model, Adam(model.parameters(), lr=1e-3), groups)
+            corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, seed=0)
+            loader = ShardedLoader(corpus, 2, 8, dp_rank=comm.rank, dp_size=comm.size)
+            trainer.train_step(loader.get_batch(0))
+
+        res = run_spmd(train, 4, network=flat_network(4), trace=True, timeout=300)
+        assert len(res.trace) > 20
+        ops = {e.op for e in res.trace}
+        assert "alltoall" in ops and "allreduce" in ops
+        path = write_chrome_trace(res.trace, tmp_path / "step.json")
+        assert path.exists()

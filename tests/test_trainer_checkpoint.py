@@ -1,0 +1,162 @@
+"""Single-process trainer: convergence, fp16 protocol, checkpoint round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.amp import DynamicLossScaler, cast_model
+from repro.data import ShardedLoader, SyntheticCorpus
+from repro.errors import CheckpointError, ConfigError
+from repro.models import build_model, tiny_config
+from repro.train import (
+    Adam,
+    ConstantLR,
+    Trainer,
+    WarmupCosineLR,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def make_setup(seed=1, dtype=None, scaler=None, lr=3e-3):
+    cfg = tiny_config()
+    model = build_model(cfg, seed=seed)
+    if dtype:
+        cast_model(model, dtype)
+    corpus = SyntheticCorpus(vocab_size=cfg.vocab_size, predictability=0.9, seed=3)
+    loader = ShardedLoader(corpus, batch_size=8, seq_len=16)
+    opt = Adam(model.parameters(), lr=lr)
+    trainer = Trainer(model, opt, schedule=ConstantLR(lr), scaler=scaler, grad_clip=1.0)
+    return cfg, model, loader, opt, trainer
+
+
+class TestTrainer:
+    def test_loss_decreases_fp32(self):
+        _, _, loader, _, trainer = make_setup()
+        hist = trainer.fit(loader, 40)
+        assert hist[-1].loss < hist[0].loss * 0.8
+
+    def test_loss_decreases_fp16(self):
+        scaler = DynamicLossScaler(init_scale=2.0**10, growth_interval=20)
+        _, _, loader, _, trainer = make_setup(dtype="fp16", scaler=scaler)
+        hist = trainer.fit(loader, 40)
+        assert hist[-1].loss < hist[0].loss * 0.85
+
+    def test_fp16_tracks_fp32_closely(self):
+        """F6 shape: mixed-precision loss curve overlaps fp32."""
+        _, _, loader32, _, tr32 = make_setup()
+        scaler = DynamicLossScaler(init_scale=2.0**10)
+        _, _, loader16, _, tr16 = make_setup(dtype="fp16", scaler=scaler)
+        h32 = tr32.fit(loader32, 30)
+        h16 = tr16.fit(loader16, 30)
+        diffs = [abs(a.loss - b.loss) for a, b in zip(h32, h16)]
+        assert max(diffs) < 0.15
+
+    def test_step_metrics_populated(self):
+        _, _, loader, _, trainer = make_setup()
+        res = trainer.train_step(loader.get_batch(0))
+        assert res.step == 0
+        assert np.isfinite(res.loss)
+        assert res.lr == pytest.approx(3e-3)
+        assert np.isfinite(res.grad_norm)
+        assert not res.skipped
+
+    def test_schedule_applied(self):
+        cfg = tiny_config()
+        model = build_model(cfg)
+        loader = ShardedLoader(SyntheticCorpus(vocab_size=cfg.vocab_size), 2, 8)
+        opt = Adam(model.parameters(), lr=1.0)
+        trainer = Trainer(model, opt, schedule=WarmupCosineLR(0.1, 5, 20))
+        res = trainer.train_step(loader.get_batch(0))
+        assert res.lr == pytest.approx(0.1 / 5)
+
+    def test_overflow_skips_step(self):
+        """A huge loss scale forces overflow; the step must be skipped."""
+        scaler = DynamicLossScaler(init_scale=2.0**24, min_scale=1.0)
+        cfg, model, loader, opt, trainer = make_setup(dtype="fp16", scaler=scaler)
+        before = model.tok_emb.weight.data.copy()
+        res = trainer.train_step(loader.get_batch(0))
+        if res.skipped:  # scale 2^24 on fp16 grads overflows
+            assert np.array_equal(model.tok_emb.weight.data, before)
+            assert scaler.scale < 2.0**24
+        else:  # extremely unlikely, but then training proceeded normally
+            assert np.isfinite(res.grad_norm)
+
+    def test_history_accumulates(self):
+        _, _, loader, _, trainer = make_setup()
+        trainer.fit(loader, 3)
+        assert len(trainer.history) == 3
+        assert [r.step for r in trainer.history] == [0, 1, 2]
+
+    def test_on_step_callback(self):
+        _, _, loader, _, trainer = make_setup()
+        seen = []
+        trainer.fit(loader, 2, on_step=lambda r: seen.append(r.step))
+        assert seen == [0, 1]
+
+    def test_invalid_steps(self):
+        _, _, loader, _, trainer = make_setup()
+        with pytest.raises(ConfigError):
+            trainer.fit(loader, 0)
+
+
+class TestCheckpoint:
+    def test_roundtrip_model_optimizer_scaler(self, tmp_path):
+        _, model, loader, opt, trainer = make_setup(seed=4)
+        scaler = DynamicLossScaler(init_scale=512.0)
+        trainer.fit(loader, 5)
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt, scaler, step=5,
+                               extra={"note": "test"})
+
+        model2 = build_model(tiny_config(), seed=99)
+        opt2 = Adam(model2.parameters(), lr=3e-3)
+        scaler2 = DynamicLossScaler()
+        meta = load_checkpoint(path, model2, opt2, scaler2)
+
+        assert meta["step"] == 5
+        assert meta["extra"]["note"] == "test"
+        for (_, a), (_, b) in zip(model.named_parameters(), model2.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+        assert opt2.step_count == opt.step_count
+        assert scaler2.scale == 512.0
+
+    def test_training_resumes_identically(self, tmp_path):
+        """Train 5+5 with a checkpoint in the middle == train 10 straight."""
+        _, model_a, loader, opt_a, trainer_a = make_setup(seed=7)
+        trainer_a.fit(loader, 10)
+
+        _, model_b, loader_b, opt_b, trainer_b = make_setup(seed=7)
+        trainer_b.fit(loader_b, 5)
+        p = save_checkpoint(tmp_path / "mid.npz", model_b, opt_b, step=5)
+
+        _, model_c, loader_c, opt_c, trainer_c = make_setup(seed=123)
+        meta = load_checkpoint(p, model_c, opt_c)
+        trainer_c.step_count = meta["step"]
+        trainer_c.fit(loader_c, 5)
+
+        for (_, a), (_, c) in zip(model_a.named_parameters(), model_c.named_parameters()):
+            assert np.allclose(a.data, c.data, atol=1e-6)
+
+    def test_missing_file(self, tmp_path):
+        model = build_model(tiny_config())
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz", model)
+
+    def test_corrupt_file(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(bad, build_model(tiny_config()))
+
+    def test_wrong_model_shape(self, tmp_path):
+        model = build_model(tiny_config())
+        path = save_checkpoint(tmp_path / "a.npz", model)
+        other = build_model(tiny_config(d_model=64, n_heads=4))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, other)
+
+    def test_model_only_checkpoint(self, tmp_path):
+        model = build_model(tiny_config(), seed=3)
+        path = save_checkpoint(tmp_path / "m.npz", model)
+        model2 = build_model(tiny_config(), seed=8)
+        load_checkpoint(path, model2)
+        assert np.array_equal(model.tok_emb.weight.data, model2.tok_emb.weight.data)
