@@ -2,9 +2,11 @@
 
 Paper claim: the MoDa hybrid (experts sharded inside supernodes,
 hierarchical collectives, data parallelism everywhere) beats both
-single-axis strategies. Measured at 16 ranks with virtual-clock timing,
-and projected at full machine scale with the step model. Pure DP is also
-shown to be memory-infeasible at brain scale (see T4), so its row at
+single-axis strategies. Every measured row launches through the strategy
+registry (``TrainingRunConfig.strategy``), so the comparison exercises
+the same dispatch path the CLI uses; per-phase timings come from the
+shared RunContext. Projected rows use the analytic step model. Pure DP
+is also memory-infeasible at brain scale (see T4), so its row at
 96,000 nodes is hypothetical-compute-only.
 """
 
@@ -21,36 +23,39 @@ CFG = tiny_config(num_experts=16)
 NET = sunway_network(16, supernode_size=4)
 
 
-def _measure(ep_size, alltoall, allreduce):
+def _measure(strategy, ep_size, alltoall, allreduce):
     res = run_distributed_training(
         TrainingRunConfig(
             model=CFG, world_size=16, ep_size=ep_size, num_steps=3,
-            batch_size=2, seq_len=8,
+            batch_size=2, seq_len=8, strategy=strategy,
             alltoall_algorithm=alltoall, allreduce_algorithm=allreduce,
             model_compute_time=False,  # isolate communication differences
         ),
         network=NET,
     )
+    assert res.meta["strategy"] == strategy
     return res
 
 
 def test_t3_measured_strategy_comparison(benchmark, report):
     def run():
         strategies = [
-            ("pure-DP (ep=1)", 1, None, "ring"),
-            ("flat-EP (ep=16, flat a2a)", 16, "flat", "ring"),
-            ("MoDa (ep=4, hierarchical)", 4, "hierarchical", "hierarchical"),
+            ("pure-DP (ep=1)", "dp", 1, None, "ring"),
+            ("flat-EP (ep=16, flat a2a)", "ep", 16, "flat", "ring"),
+            ("MoDa (ep=4, hierarchical)", "moda", 4, "hierarchical", "hierarchical"),
         ]
         rows = []
         losses = {}
-        for label, ep, a2a, ar in strategies:
-            res = _measure(ep, a2a, ar)
+        for label, name, ep, a2a, ar in strategies:
+            res = _measure(name, ep, a2a, ar)
             losses[label] = res.losses
             rows.append(
                 {
                     "strategy": label,
+                    "registry_name": name,
                     "comm_time_per_step": format_time(res.step_time),
                     "seconds": res.step_time,
+                    "grad_sync_s": round(res.phase_seconds.get("grad_sync", 0.0), 6),
                     "total_bytes": res.traffic["total_bytes"],
                 }
             )

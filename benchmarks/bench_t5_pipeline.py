@@ -1,19 +1,20 @@
 """T5 (extension) — pipeline parallelism: bubble overhead vs microbatches.
 
-The GPipe bubble idles (S-1)/(M+S-1) of the step. This bench measures the
-effect through the real runtime (virtual-clock timing of actual pipeline
-p2p schedules) and checks it against the analytic formula — the third
-parallel axis on top of the paper's MoDa.
+The GPipe bubble idles (S-1)/(M+S-1) of the step. This bench drives the
+``pipeline`` strategy through the registry entry point — the same path
+the CLI's ``--pp`` flag takes — and checks the measured trend against
+the analytic formula. The third parallel axis on top of the paper's
+MoDa.
 """
-
-import numpy as np
 
 from repro.hardware import laptop_machine
 from repro.models import tiny_config
 from repro.network import flat_network
-from repro.parallel import GPipeRunner, pipeline_bubble_fraction
-from repro.perf import ComputeTimer
-from repro.simmpi import run_spmd
+from repro.parallel import (
+    TrainingRunConfig,
+    pipeline_bubble_fraction,
+    run_distributed_training,
+)
 
 CFG = tiny_config(n_layers=4, aux_weight=0.0)
 STAGES = 4
@@ -21,29 +22,18 @@ BATCH = 8
 
 
 def _pipeline_time(num_microbatches: int) -> float:
-    """Simulated time of one GPipe step with modelled per-stage compute."""
-    tokens = np.random.default_rng(0).integers(0, CFG.vocab_size, size=(BATCH, 8))
-    machine = laptop_machine(STAGES)
-    timer = ComputeTimer(CFG, machine, seq_len=8)
-    per_stage_tokens = BATCH * 8 // num_microbatches  # tokens per microbatch
-
-    def program(comm):
-        runner = GPipeRunner(CFG, comm, num_microbatches=num_microbatches, seed=1)
-        # Model compute: each stage holds 1/STAGES of the layers, so each
-        # microbatch costs roughly dense_time/STAGES on this stage. The
-        # p2p dependencies then produce the fill/drain bubble naturally.
-        orig = runner.stage.forward
-
-        def timed_forward(x):
-            comm.advance(timer.dense_step_time(per_stage_tokens) / STAGES)
-            return orig(x)
-
-        runner.stage.forward = timed_forward
-        runner.train_step(tokens, tokens)
-        return comm.clock
-
-    res = run_spmd(program, STAGES, network=flat_network(STAGES), timeout=300)
-    return res.simulated_time
+    """Simulated per-step time of the pipeline strategy at STAGES ranks."""
+    res = run_distributed_training(
+        TrainingRunConfig(
+            model=CFG, world_size=STAGES, pp_size=STAGES, num_steps=1,
+            batch_size=BATCH, seq_len=8, num_microbatches=num_microbatches,
+            strategy="pipeline",
+        ),
+        network=flat_network(STAGES),
+        machine=laptop_machine(STAGES),
+    )
+    assert res.meta["strategy"] == "pipeline"
+    return res.step_time
 
 
 def test_t5_bubble_vs_microbatches(benchmark, report):

@@ -3,18 +3,15 @@
 With pipe x data x expert factorizations of the same 16 ranks, numerics
 are identical (tested) while the simulated step time varies with the
 communication mix: pipelines add p2p boundary traffic but shrink per-rank
-dense allreduce volume; EP adds alltoalls but shrinks expert memory. This
-bench prints the measured trade at 16 ranks.
+dense allreduce volume; EP adds alltoalls but shrinks expert memory.
+Every shape launches through the strategy registry — the layout alone
+(``ep_size``/``pp_size``) selects dp, moda, or pp_moda — so this bench
+doubles as an end-to-end check of ``strategy_for_layout``.
 """
 
-import numpy as np
-
-from repro.data import ShardedLoader, SyntheticCorpus
 from repro.models import tiny_config
 from repro.network import sunway_network
-from repro.parallel import Trainer3D, build_groups3d
-from repro.simmpi import run_spmd
-from repro.train import Adam
+from repro.parallel import TrainingRunConfig, run_distributed_training
 from repro.utils import format_time
 
 CFG = tiny_config(n_layers=4, num_experts=16)
@@ -23,17 +20,14 @@ NET = sunway_network(WORLD, supernode_size=4)
 
 
 def _run_shape(pipe, ep, steps=2):
-    def program(comm):
-        groups = build_groups3d(comm, pipe_size=pipe, ep_size=ep)
-        trainer = Trainer3D(CFG, groups, num_microbatches=2, seed=1)
-        trainer.attach_optimizer(Adam(trainer.stage.parameters(), lr=1e-3))
-        corpus = SyntheticCorpus(vocab_size=CFG.vocab_size, seed=2)
-        loader = ShardedLoader(corpus, 4, 8, dp_rank=groups.pipeline_id,
-                               dp_size=groups.grid.plane_size)
-        return [trainer.train_step(loader.get_batch(s)).global_loss
-                for s in range(steps)]
-
-    res = run_spmd(program, WORLD, network=NET, timeout=600)
+    res = run_distributed_training(
+        TrainingRunConfig(
+            model=CFG, world_size=WORLD, ep_size=ep, pp_size=pipe,
+            num_steps=steps, batch_size=4, seq_len=8, num_microbatches=2,
+            model_compute_time=False,  # isolate the communication mix
+        ),
+        network=NET,
+    )
     return res
 
 
@@ -50,10 +44,11 @@ def test_t6_grid_shape_sweep(benchmark, report):
             rows.append(
                 {
                     "grid": label,
-                    "step_time": format_time(res.simulated_time / 2),
-                    "seconds": res.simulated_time / 2,
-                    "p2p_msgs": res.stats.p2p_messages,
-                    "losses0": round(res.returns[0][0], 4),
+                    "strategy": res.meta["strategy"],
+                    "step_time": format_time(res.step_time),
+                    "seconds": res.step_time,
+                    "p2p_msgs": res.traffic["p2p_messages"],
+                    "losses0": round(res.losses[0], 4),
                 }
             )
         return rows
@@ -61,8 +56,12 @@ def test_t6_grid_shape_sweep(benchmark, report):
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
     report("t6_grid", "T6: 3D grid factorizations at 16 ranks", rows)
 
-    # Pipeline shapes produce boundary p2p traffic; flat shapes none.
     by = {r["grid"]: r for r in rows}
+    # The layout alone routes each shape to the right strategy.
+    assert by["pure DP (16 pipelines x 1)"]["strategy"] == "dp"
+    assert by["MoDa (dp=4 x ep=4)"]["strategy"] == "moda"
+    assert by["3D (pipe=2 x dp=2 x ep=4)"]["strategy"] == "pp_moda"
+    # Pipeline shapes produce boundary p2p traffic; flat shapes none.
     assert by["3D (pipe=2 x dp=2 x ep=4)"]["p2p_msgs"] > 0
     assert by["MoDa (dp=4 x ep=4)"]["p2p_msgs"] == 0
     # Same plane width (=16) shapes see the same data -> same first loss.

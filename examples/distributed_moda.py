@@ -3,14 +3,14 @@
 
 Launches an SPMD program on 8 simulated MPI ranks (2 supernodes of 4):
 experts are sharded over expert-parallel groups of 4 (one per supernode),
-dense parameters are data-parallel across all 8. Every communication call
-advances a virtual clock using the topology cost model, so the run reports
-*simulated* step time and traffic alongside the (exactly synchronous) loss.
+dense parameters are data-parallel across all 8. The layout alone selects
+the ``moda`` strategy from the registry; every communication call advances
+a virtual clock using the topology cost model, so the run reports
+*simulated* step time, per-phase breakdown, and traffic alongside the
+(exactly synchronous) loss.
 
 Run:  python examples/distributed_moda.py
 """
-
-import numpy as np
 
 from repro.models import tiny_config
 from repro.network import sunway_network
@@ -36,8 +36,11 @@ def main() -> None:
         allreduce_algorithm="hierarchical",
         mixed_precision=True,
     )
-    print(f"launching {WORLD} ranks (EP groups of {EP}, {WORLD // EP} expert replicas), "
-          f"mixed precision, balanced gate")
+    strategy = run_cfg.resolve_strategy()
+    print(f"layout  : {run_cfg.layout.describe()}")
+    print(f"strategy: {strategy.name!r} (selected from the layout)")
+    print(f"launching {WORLD} ranks (EP groups of {EP}, {WORLD // EP} expert "
+          f"replicas), mixed precision, balanced gate")
     result = run_distributed_training(run_cfg, network=net)
 
     print("\nglobal loss per step:")
@@ -48,6 +51,9 @@ def main() -> None:
     print(f"expert load imbalance: {result.load_imbalance:.2f} (max/mean)")
     print(f"total traffic        : {format_bytes(result.traffic['total_bytes'])}")
     print(f"collective calls     : {result.traffic['collective_calls']}")
+    print("virtual time per phase (rank 0):")
+    for phase, seconds in result.phase_seconds.items():
+        print(f"  {phase:<12} {format_time(seconds)}")
 
     assert result.losses[-1] < result.losses[0]
     print("\nOK — loss decreased and every rank agreed on the trajectory")

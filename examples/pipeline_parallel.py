@@ -1,23 +1,25 @@
 #!/usr/bin/env python
-"""Pipeline-parallel training (GPipe) on simulated ranks.
+"""Pipeline-parallel training (GPipe) through the strategy registry.
 
 Splits a 4-layer MoE transformer into 2 stages across 2 simulated ranks
-and trains with 4 microbatches per step. Demonstrates the third parallel
-axis beyond the paper's MoDa (data x expert): stage boundaries exchange
-activations/gradients point-to-point, and the classic pipeline *bubble*
-shows up directly in the virtual-clock timing.
+and trains with 4 microbatches per step — the third parallel axis beyond
+the paper's MoDa (data x expert). Setting ``pp_size=2`` on the run config
+is all it takes: the registry routes the layout to the ``pipeline``
+strategy, stage boundaries exchange activations/gradients point-to-point,
+and the classic pipeline *bubble* shows up directly in the virtual-clock
+timing.
 
 Run:  python examples/pipeline_parallel.py
 """
 
-import numpy as np
-
-from repro.data import ShardedLoader, SyntheticCorpus
 from repro.models import tiny_config
 from repro.network import flat_network
-from repro.parallel import GPipeRunner, pipeline_bubble_fraction
-from repro.simmpi import run_spmd
-from repro.train import Adam
+from repro.parallel import (
+    TrainingRunConfig,
+    pipeline_bubble_fraction,
+    run_distributed_training,
+)
+from repro.utils import format_time
 
 STAGES = 2
 MICROBATCHES = 4
@@ -25,41 +27,35 @@ STEPS = 10
 CFG = tiny_config(n_layers=4)
 
 
-def rank_program(comm):
-    runner = GPipeRunner(CFG, comm, num_microbatches=MICROBATCHES, seed=0)
-    corpus = SyntheticCorpus(vocab_size=CFG.vocab_size, predictability=0.9, seed=1)
-    loader = ShardedLoader(corpus, batch_size=8, seq_len=16)
-    optimizer = Adam(runner.stage.parameters(), lr=3e-3)
-
-    losses = []
-    for step in range(STEPS):
-        batch = loader.get_batch(step)
-        runner.stage.zero_grad()
-        losses.append(runner.train_step(batch.tokens, batch.targets))
-        optimizer.step()
-    return {
-        "losses": losses,
-        "stage_params": runner.stage.num_parameters(),
-        "role": "first" if runner.is_first else "last",
-    }
-
-
 def main() -> None:
     print(f"GPipe: {CFG.n_layers} layers over {STAGES} stages, "
           f"{MICROBATCHES} microbatches "
           f"(bubble {pipeline_bubble_fraction(STAGES, MICROBATCHES):.0%})")
-    res = run_spmd(rank_program, STAGES, network=flat_network(STAGES), timeout=300)
 
-    for rank, info in enumerate(res.returns):
-        print(f"  stage {rank} ({info['role']}): "
-              f"{info['stage_params']:,} parameters")
-    losses = res.returns[0]["losses"]
-    print("loss per step:", " ".join(f"{v:.3f}" for v in losses))
-    print(f"simulated time: {res.simulated_time * 1e3:.3f} ms "
-          f"({res.stats.p2p_messages} boundary messages)")
+    run_cfg = TrainingRunConfig(
+        model=CFG,
+        world_size=STAGES,
+        pp_size=STAGES,
+        num_microbatches=MICROBATCHES,
+        num_steps=STEPS,
+        batch_size=8,
+        seq_len=16,
+        lr=3e-3,
+        corpus_predictability=0.9,
+    )
+    print(f"layout  : {run_cfg.layout.describe()}")
+    print(f"strategy: {run_cfg.resolve_strategy().name!r}")
+    res = run_distributed_training(run_cfg, network=flat_network(STAGES))
 
-    assert losses[-1] < losses[0]
-    assert np.allclose(res.returns[0]["losses"], res.returns[1]["losses"])
+    print("loss per step:", " ".join(f"{v:.3f}" for v in res.losses))
+    print(f"simulated step time: {format_time(res.step_time)} "
+          f"({res.traffic['p2p_messages']} boundary messages)")
+    print("virtual time per phase (rank 0):")
+    for phase, seconds in res.phase_seconds.items():
+        print(f"  {phase:<12} {format_time(seconds)}")
+
+    assert res.losses[-1] < res.losses[0]
+    assert res.traffic["p2p_messages"] > 0
     print("OK — stages agree and the loss decreased")
 
 

@@ -1,58 +1,50 @@
 #!/usr/bin/env python
 """Trace a distributed training step and export a Chrome-tracing JSON.
 
-Runs two MoDa steps on 8 simulated ranks with virtual-time tracing on,
-prints a per-operation summary, and writes ``trace_step.json`` — open it
-in Perfetto (https://ui.perfetto.dev) or chrome://tracing to see the
-alltoall waves, gradient allreduces, and modelled compute of every rank
-on the simulated machine's timeline.
+Runs two MoDa steps on 8 simulated ranks with ``trace=True`` on the run
+config; the shared :class:`~repro.simmpi.RunContext` collects the event
+stream, traffic counters, and per-phase timers in one place. Prints a
+per-operation summary plus the phase breakdown and writes
+``trace_step.json`` — open it in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing to see the alltoall waves, gradient allreduces, and
+modelled compute of every rank on the simulated machine's timeline.
+
+The CLI exposes the same export: ``repro distributed --trace out.json``.
 
 Run:  python examples/trace_training_step.py
 """
 
 from collections import defaultdict
 
-from repro.data import ShardedLoader, SyntheticCorpus
 from repro.models import tiny_config
 from repro.network import sunway_network
-from repro.parallel import MoDaTrainer, build_groups, build_moda_model
-from repro.perf import ComputeTimer
-from repro.hardware import laptop_machine
-from repro.simmpi import run_spmd, write_chrome_trace
-from repro.train import Adam
+from repro.parallel import TrainingRunConfig, run_distributed_training
 from repro.utils import format_time
 
 WORLD, EP = 8, 4
 CFG = tiny_config(num_experts=8)
 
 
-def rank_program(comm):
-    timer = ComputeTimer(CFG, laptop_machine(WORLD), seq_len=16)
-    groups = build_groups(comm, EP)
-    model = build_moda_model(
-        CFG, groups, seed=1,
-        compute_hook=lambda rows: comm.advance(timer.expert_layer_time(rows)),
-    )
-    trainer = MoDaTrainer(model, Adam(model.parameters(), lr=1e-3), groups)
-    corpus = SyntheticCorpus(vocab_size=CFG.vocab_size, seed=0)
-    loader = ShardedLoader(corpus, 4, 16, dp_rank=comm.rank, dp_size=comm.size)
-    for step in range(2):
-        comm.advance(timer.dense_step_time(4 * 16))
-        trainer.train_step(loader.get_batch(step))
-
-
 def main() -> None:
-    res = run_spmd(
-        rank_program, WORLD,
-        network=sunway_network(WORLD, supernode_size=4),
-        trace=True, timeout=600,
+    run_cfg = TrainingRunConfig(
+        model=CFG,
+        world_size=WORLD,
+        ep_size=EP,
+        num_steps=2,
+        batch_size=4,
+        seq_len=16,
+        trace=True,
+    )
+    res = run_distributed_training(
+        run_cfg, network=sunway_network(WORLD, supernode_size=4)
     )
 
     by_op: dict[str, list[float]] = defaultdict(list)
     for e in res.trace:
         by_op[e.op].append(e.duration)
 
-    print(f"{len(res.trace)} events over {format_time(res.simulated_time)} "
+    print(f"{len(res.trace)} events over "
+          f"{format_time(res.step_time * run_cfg.num_steps)} "
           f"of virtual time ({WORLD} ranks)\n")
     print(f"{'op':<16} {'count':>6} {'total':>12} {'mean':>12}")
     for op, durations in sorted(by_op.items(), key=lambda kv: -sum(kv[1])):
@@ -60,7 +52,11 @@ def main() -> None:
               f"{format_time(sum(durations)):>12} "
               f"{format_time(sum(durations) / len(durations)):>12}")
 
-    path = write_chrome_trace(res.trace, "trace_step.json")
+    print("\nvirtual time per phase (rank 0):")
+    for phase, seconds in res.phase_seconds.items():
+        print(f"  {phase:<12} {format_time(seconds)}")
+
+    path = res.context.write_chrome_trace("trace_step.json")
     print(f"\nwrote {path} — open in https://ui.perfetto.dev")
 
 

@@ -20,6 +20,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from repro.layout import ParallelLayout
+
+__all__ = ["__version__", "ParallelLayout"]

@@ -3,7 +3,9 @@
 Commands
 --------
 ``train``       single-process training on the synthetic corpus
-``distributed`` simulated multi-rank MoDa training with virtual timing
+``distributed`` simulated multi-rank training with virtual timing; any
+                registered strategy (dp/ep/moda/tp/zero/pipeline and
+                composites) via ``--ep/--tp/--pp/--zero/--strategy``
 ``project``     brain-scale performance/memory projection
 ``configs``     print the model configuration table
 
@@ -59,10 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--sample", type=int, default=0,
                          help="generate N tokens after training")
 
-    p_dist = sub.add_parser("distributed", help="simulated MoDa training")
+    p_dist = sub.add_parser(
+        "distributed", help="simulated distributed training (any strategy)"
+    )
     p_dist.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
     p_dist.add_argument("--world", type=int, default=8)
     p_dist.add_argument("--ep", type=int, default=4)
+    p_dist.add_argument("--tp", type=int, default=1,
+                        help="tensor-parallel width (shards dense FFNs)")
+    p_dist.add_argument("--pp", type=int, default=1,
+                        help="pipeline stages (GPipe)")
+    p_dist.add_argument("--zero", type=int, default=1,
+                        help="ZeRO-1 optimizer-state shards (1 = off)")
+    p_dist.add_argument("--strategy", default="auto",
+                        help="registry name (see repro.parallel."
+                             "available_strategies()) or 'auto'")
+    p_dist.add_argument("--microbatches", type=int, default=2,
+                        help="microbatches per step (pipeline strategies)")
     p_dist.add_argument("--steps", type=int, default=5)
     p_dist.add_argument("--batch-size", type=int, default=4)
     p_dist.add_argument("--seq-len", type=int, default=16)
@@ -73,6 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--fp16", action="store_true")
     p_dist.add_argument("--seed", type=int, default=0)
     p_dist.add_argument("--metrics", default=None)
+    p_dist.add_argument("--trace", default=None, metavar="OUT_JSON",
+                        help="write a Chrome-tracing JSON of the run")
 
     p_3d = sub.add_parser("3d", help="simulated pipe x data x expert training")
     p_3d.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
@@ -154,6 +171,9 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     cfg = _CONFIGS[args.config]()
     if cfg.num_experts % args.ep != 0:
         cfg = cfg.scaled(num_experts=args.ep * max(cfg.num_experts // args.ep, 1))
+    if args.tp > 1 and cfg.moe_every == 1:
+        # TP shards dense FFN blocks; give the model some to shard.
+        cfg = cfg.scaled(n_layers=max(cfg.n_layers, 4), moe_every=2)
     run_cfg = TrainingRunConfig(
         model=cfg,
         world_size=args.world,
@@ -165,10 +185,17 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         allreduce_algorithm=args.allreduce,
         mixed_precision=args.fp16,
         seed=args.seed,
+        tp_size=args.tp,
+        pp_size=args.pp,
+        zero_shards=args.zero,
+        num_microbatches=args.microbatches,
+        strategy=args.strategy,
+        trace=args.trace is not None,
     )
     net = sunway_network(args.world, supernode_size=args.supernode)
-    print(f"launching {args.world} simulated ranks (ep={args.ep}, "
-          f"supernode={args.supernode})")
+    print(f"launching {args.world} simulated ranks via strategy "
+          f"'{run_cfg.resolve_strategy().name}' "
+          f"({run_cfg.layout.describe()}, supernode={args.supernode})")
     result = run_distributed_training(run_cfg, network=net)
     logger = MetricsLogger(args.metrics) if args.metrics else None
     try:
@@ -176,11 +203,21 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
             print(f"  step {step:3d}  global loss {loss:.4f}")
             if logger:
                 logger.log({"step": step, "loss": loss})
+        if logger and logger.path.suffix == ".jsonl" and result.context is not None:
+            # CSV headers are fixed by the per-step records, so the
+            # context snapshot (different keys) goes to JSONL sinks only.
+            logger.log_context(result.context, strategy=result.meta["strategy"])
     finally:
         if logger:
             logger.close()
+    if args.trace:
+        path = result.context.write_chrome_trace(args.trace)
+        print(f"chrome trace       : {path} "
+              f"({len(result.trace)} events)")
     print(f"simulated step time: {format_time(result.step_time)}")
     print(f"load imbalance     : {result.load_imbalance:.2f}")
+    for phase, seconds in result.phase_seconds.items():
+        print(f"  phase {phase:<10}: {format_time(seconds)}")
     print(f"traffic            : {format_bytes(result.traffic['total_bytes'])}")
     return 0
 

@@ -19,16 +19,18 @@ __all__ = ["Parameter", "Module"]
 class Parameter(Tensor):
     """A trainable leaf tensor (always ``requires_grad=True``).
 
-    ``is_expert`` marks parameters that belong to a (sharded) MoE expert;
-    parallel wrappers use it to pick the right gradient-sync communicator
-    (expert-data-parallel group vs the full world).
+    ``is_expert`` marks parameters that belong to a (sharded) MoE expert
+    and ``is_tp`` those sharded over a tensor-parallel group; parallel
+    wrappers use the flags to pick the right gradient-sync communicator
+    (expert-data-parallel / same-TP-shard group vs the full world).
     """
 
-    __slots__ = ("is_expert",)
+    __slots__ = ("is_expert", "is_tp")
 
     def __init__(self, data: Any, dtype: str = "fp32", name: str | None = None):
         super().__init__(data, requires_grad=True, dtype=dtype, name=name)
         self.is_expert = False
+        self.is_tp = False
 
 
 class Module:

@@ -80,10 +80,16 @@ class MoELanguageModel(Module):
     dense MLP (``moe_every=1`` makes every block MoE, the BaGuaLu layout).
     """
 
-    def __init__(self, config: ModelConfig, seed: int = 0, moe_factory=None):
+    def __init__(self, config: ModelConfig, seed: int = 0, moe_factory=None,
+                 mlp_factory=None):
         """``moe_factory(layer_idx, rng) -> Module`` overrides how MoE FFNs
         are built — the hook :mod:`repro.parallel.moda` uses to substitute
-        :class:`~repro.parallel.ep.DistributedMoELayer`."""
+        :class:`~repro.parallel.ep.DistributedMoELayer`. ``mlp_factory``
+        does the same for the *dense* FFN blocks (positions not on the
+        ``moe_every`` grid), which is how tensor parallelism swaps in
+        :class:`~repro.parallel.tp.TensorParallelMLP`. Both factories must
+        consume the shared per-block rng exactly like the layer they
+        replace, so replicated weights stay bit-identical across ranks."""
         super().__init__()
         self.config = config
         # Every component draws from its own derived seed, so any *slice*
@@ -116,6 +122,8 @@ class MoELanguageModel(Module):
                         z_weight=config.z_weight,
                         dtype=dt,
                     )
+            elif mlp_factory is not None:
+                ffn = mlp_factory(i, rng)
             else:
                 ffn = MLP(config.d_model, config.d_ff, rng, dtype=dt)
             blocks.append(

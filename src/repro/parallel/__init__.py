@@ -1,5 +1,11 @@
-"""Parallel training strategies: MoDa hybrid, expert/data parallelism, ZeRO."""
+"""Parallel training strategies: MoDa hybrid, expert/data parallelism, ZeRO.
 
+Every strategy — and every composite of them — is reachable through the
+registry in :mod:`repro.parallel.strategy`; the measured runner
+(:func:`run_distributed_training`) dispatches through it.
+"""
+
+from repro.layout import ParallelLayout
 from repro.parallel.collective_ops import allreduce_sum, alltoall_rows, copy_to_tp_region
 from repro.parallel.dp import (
     allreduce_gradients,
@@ -30,10 +36,35 @@ from repro.parallel.tp import (
     TensorParallelMLP,
     shard_linear_weights,
 )
+from repro.parallel.strategy import (
+    HybridGroups,
+    HybridTrainer,
+    ParallelStrategy,
+    RankTrainer,
+    StepOutcome,
+    available_strategies,
+    build_hybrid_groups,
+    build_hybrid_model,
+    get_strategy,
+    register_strategy,
+    strategy_for_layout,
+)
 from repro.parallel.runner import TrainingRunConfig, TrainingRunResult, run_distributed_training
 from repro.parallel.zero import ZeroAdamW, shard_bounds
 
 __all__ = [
+    "ParallelLayout",
+    "ParallelStrategy",
+    "RankTrainer",
+    "StepOutcome",
+    "HybridGroups",
+    "HybridTrainer",
+    "available_strategies",
+    "build_hybrid_groups",
+    "build_hybrid_model",
+    "get_strategy",
+    "register_strategy",
+    "strategy_for_layout",
     "dense_state",
     "global_expert_state",
     "load_distributed",

@@ -148,6 +148,7 @@ class Trainer3D:
         scaler: DynamicLossScaler | None = None,
         alltoall_algorithm: str | None = None,
         allreduce_algorithm: str | None = None,
+        compute_hook=None,
     ):
         self.groups = groups
         self.config = config
@@ -172,6 +173,7 @@ class Trainer3D:
                 z_weight=config.z_weight,
                 alltoall_algorithm=alltoall_algorithm,
                 dtype=config.dtype,
+                compute_hook=compute_hook,
             )
 
         self.gpipe = GPipeRunner(
@@ -198,7 +200,9 @@ class Trainer3D:
         # GPipe forward/backward over this pipeline. Loss scaling folds
         # into the backward seed via a scaled post-hoc gradient multiply:
         # simpler and equivalent — scale gradients after accumulation.
+        t0 = groups.world.clock
         loss = self.gpipe.train_step(batch.tokens, batch.targets)
+        t_pipeline = groups.world.clock - t0
         scale = self.scaler.scale if self.scaler is not None else 1.0
         if scale != 1.0:
             for p in self.stage.parameters():
@@ -207,6 +211,7 @@ class Trainer3D:
 
         # Sync within the stage plane: dense over the whole plane, expert
         # shards across EP-group replicas.
+        t1 = groups.world.clock
         allreduce_gradients(
             groups.plane.world, self.dense_params, average=True,
             algorithm=self.allreduce_algorithm,
@@ -215,6 +220,10 @@ class Trainer3D:
             groups.plane.edp, self.expert_params, average=True,
             algorithm=self.allreduce_algorithm,
         )
+        t_grad_sync = groups.world.clock - t1
+        if groups.world.rank == 0:
+            groups.world.context.add_phase("pipeline", t_pipeline)
+            groups.world.context.add_phase("grad_sync", t_grad_sync)
 
         local_overflow = (
             1.0
@@ -246,6 +255,7 @@ class Trainer3D:
             lr=lr,
             skipped=skipped,
             loss_scale=scale,
+            extras={"t_pipeline": t_pipeline, "t_grad_sync": t_grad_sync},
         )
         self.step_count += 1
         self.history.append(result)

@@ -135,11 +135,31 @@ class MoDaTrainer:
         self.step_count = 0
         self.history: list[MoDaStepResult] = []
         self.dense_params, self.expert_params = split_params(model)
+        #: ``(label, params, comm)`` triples describing how gradients are
+        #: averaged; subclasses override :meth:`_build_sync_groups` to add
+        #: axes (e.g. TP-sharded params over the same-shard group).
+        self.sync_groups = self._build_sync_groups()
         if sync_initial_params:
             # Belt and braces: construction already makes replicas equal,
             # but an explicit broadcast pins the invariant.
-            broadcast_parameters(groups.world, self.dense_params, root=0)
-            broadcast_parameters(groups.edp, self.expert_params, root=0)
+            for _, params, comm in self.sync_groups:
+                broadcast_parameters(comm, params, root=0)
+
+    def _build_sync_groups(self):
+        """Gradient-sync plan: dense over the world, experts over EDP."""
+        return [
+            ("dense", self.dense_params, self.groups.world),
+            ("expert", self.expert_params, self.groups.edp),
+        ]
+
+    def _sync_gradients(self) -> dict[str, int]:
+        """Average each sync group's gradients; bytes moved per label."""
+        return {
+            label: allreduce_gradients(
+                comm, params, average=True, algorithm=self.allreduce_algorithm
+            )
+            for label, params, comm in self.sync_groups
+        }
 
     def evaluate(self, loader, num_steps: int, start_step: int = 0) -> dict[str, float]:
         """Distributed held-out evaluation: every rank scores its own data
@@ -192,14 +212,7 @@ class MoDaTrainer:
         t_backward = groups.world.clock - t1
 
         t2 = groups.world.clock
-        dense_bytes = allreduce_gradients(
-            groups.world, self.dense_params, average=True,
-            algorithm=self.allreduce_algorithm,
-        )
-        expert_bytes = allreduce_gradients(
-            groups.edp, self.expert_params, average=True,
-            algorithm=self.allreduce_algorithm,
-        )
+        sync_bytes = self._sync_gradients()
         t_grad_sync = groups.world.clock - t2
 
         local_overflow = (
@@ -227,6 +240,23 @@ class MoDaTrainer:
 
         global_loss = float(groups.world.allreduce(loss_value)) / groups.world.size
 
+        # Report the phase breakdown into the run's instrumentation spine
+        # (only rank 0 of the world group, so totals aren't multiplied by
+        # the world size).
+        context = groups.world.context
+        if groups.world.rank == 0:
+            context.add_phase("forward", t_forward)
+            context.add_phase("backward", t_backward)
+            context.add_phase("grad_sync", t_grad_sync)
+
+        extras: dict[str, float] = {
+            "t_forward": t_forward,
+            "t_backward": t_backward,
+            "t_grad_sync": t_grad_sync,
+        }
+        for label, nbytes in sync_bytes.items():
+            if label not in ("dense", "expert"):
+                extras[f"{label}_sync_bytes"] = float(nbytes)
         result = MoDaStepResult(
             step=self.step_count,
             loss=loss_value,
@@ -235,13 +265,9 @@ class MoDaTrainer:
             grad_norm=grad_norm,
             skipped=skipped,
             loss_scale=scale,
-            dense_sync_bytes=dense_bytes,
-            expert_sync_bytes=expert_bytes,
-            extras={
-                "t_forward": t_forward,
-                "t_backward": t_backward,
-                "t_grad_sync": t_grad_sync,
-            },
+            dense_sync_bytes=sync_bytes.get("dense", 0),
+            expert_sync_bytes=sync_bytes.get("expert", 0),
+            extras=extras,
         )
         self.step_count += 1
         self.history.append(result)

@@ -1,18 +1,23 @@
-"""Turn-key SPMD experiment runner.
+"""Turn-key SPMD experiment runner over the strategy registry.
 
 One parametrized entry point covers the measured side of every strategy
-comparison (experiment T3 and the measured halves of F1/F2):
+comparison (experiment T3 and the measured halves of F1/F2). The layout
+knobs (``ep_size``, ``tp_size``, ``pp_size``, ``zero_shards``) pick a
+registered :class:`~repro.parallel.strategy.ParallelStrategy`:
 
-* ``ep_size=1``                  -> pure data parallelism (every rank holds
-  every expert; only gradients are communicated);
-* ``ep_size=world, flat``        -> naive expert parallelism with the flat
-  alltoall;
-* ``1 < ep_size`` + hierarchical -> the MoDa hybrid.
+* ``ep_size=1``                  -> pure data parallelism;
+* ``ep_size=world, flat``        -> naive expert parallelism;
+* ``1 < ep_size`` + hierarchical -> the MoDa hybrid;
+* ``tp_size/pp_size/zero_shards``-> tensor, pipeline, and ZeRO runs, and
+  the TP x EP / PP x DP / PP x MoDa composites — all through the same
+  dispatch (``strategy="auto"`` infers; name a strategy to pin it).
 
 Each rank trains on its own data shard; virtual clocks advance by modelled
 compute (via :class:`~repro.perf.ComputeTimer`) and by the network cost of
 every communication operation, so the run's ``simulated_time`` is a
-topology-aware per-step cost measurement.
+topology-aware per-step cost measurement. The run's
+:class:`~repro.simmpi.RunContext` (traffic + trace + phase timers) comes
+back on the result.
 """
 
 from __future__ import annotations
@@ -22,19 +27,18 @@ from typing import Any
 
 import numpy as np
 
-from repro.amp import DynamicLossScaler, cast_model
-from repro.data import ShardedLoader, SyntheticCorpus
 from repro.errors import ConfigError
 from repro.hardware.specs import MachineSpec, sunway_machine
+from repro.layout import ParallelLayout
 from repro.models.configs import ModelConfig
 from repro.network.costmodel import NetworkModel
 from repro.network.presets import sunway_network
-from repro.parallel.groups import build_groups
-from repro.parallel.moda import MoDaTrainer, build_moda_model
-from repro.perf.stepmodel import ComputeTimer
-from repro.simmpi import run_spmd
-from repro.train.optim import Adam
-from repro.train.schedules import ConstantLR
+from repro.parallel.strategy import (
+    ParallelStrategy,
+    get_strategy,
+    strategy_for_layout,
+)
+from repro.simmpi import RunContext, run_spmd
 
 __all__ = ["TrainingRunConfig", "TrainingRunResult", "run_distributed_training"]
 
@@ -45,7 +49,7 @@ class TrainingRunConfig:
 
     model: ModelConfig
     world_size: int
-    ep_size: int
+    ep_size: int = 1
     num_steps: int = 4
     batch_size: int = 4
     seq_len: int = 16
@@ -57,6 +61,18 @@ class TrainingRunConfig:
     mixed_precision: bool = False
     model_compute_time: bool = True
     timeout: float = 600.0
+    #: Tensor-parallel group width (shards dense FFN blocks).
+    tp_size: int = 1
+    #: Pipeline stages (GPipe over layer blocks).
+    pp_size: int = 1
+    #: ZeRO-1 optimizer-state sharding factor (1 = off).
+    zero_shards: int = 1
+    #: Microbatches per step for pipeline strategies.
+    num_microbatches: int = 2
+    #: Registry name, or "auto" to infer from the layout.
+    strategy: str = "auto"
+    #: Record TraceEvents (Chrome-trace exportable via the RunContext).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.world_size < 1 or self.num_steps < 1:
@@ -65,6 +81,26 @@ class TrainingRunConfig:
             raise ConfigError(
                 f"ep_size={self.ep_size} must divide world_size={self.world_size}"
             )
+        _ = self.layout  # shared validation (divisibility across all axes)
+        if self.strategy != "auto":
+            get_strategy(self.strategy)  # unknown names fail at build time
+
+    @property
+    def layout(self) -> ParallelLayout:
+        """The validated parallel layout this config describes."""
+        return ParallelLayout(
+            world_size=self.world_size,
+            ep_size=self.ep_size,
+            tp_size=self.tp_size,
+            pp_size=self.pp_size,
+            zero_shards=self.zero_shards,
+        )
+
+    def resolve_strategy(self) -> ParallelStrategy:
+        """The registered strategy this run dispatches through."""
+        if self.strategy != "auto":
+            return get_strategy(self.strategy)
+        return strategy_for_layout(self.layout)
 
 
 @dataclass
@@ -82,66 +118,23 @@ class TrainingRunResult:
     #: Per-rank expert-load imbalance (max/mean) averaged over steps.
     load_imbalance: float
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Virtual seconds per phase (forward/backward/grad_sync/...).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: The run's instrumentation spine (stats + trace + phases).
+    context: RunContext | None = None
+    #: TraceEvents when cfg.trace was set, else None.
+    trace: list[Any] | None = None
 
 
 def _rank_program(comm, cfg: TrainingRunConfig, machine: MachineSpec):
-    timer = (
-        ComputeTimer(cfg.model, machine, cfg.seq_len)
-        if cfg.model_compute_time
-        else None
-    )
-
-    def compute_hook(rows: int) -> None:
-        if timer is not None:
-            comm.advance(timer.expert_layer_time(rows))
-
-    groups = build_groups(comm, cfg.ep_size)
-    model = build_moda_model(
-        cfg.model,
-        groups,
-        seed=cfg.seed,
-        alltoall_algorithm=cfg.alltoall_algorithm,
-        compute_hook=compute_hook,
-    )
-    scaler = None
-    if cfg.mixed_precision:
-        cast_model(model, "fp16")
-        scaler = DynamicLossScaler(init_scale=2.0**12, growth_interval=50)
-
-    corpus = SyntheticCorpus(
-        vocab_size=cfg.model.vocab_size,
-        predictability=cfg.corpus_predictability,
-        seed=cfg.seed,
-    )
-    loader = ShardedLoader(
-        corpus, cfg.batch_size, cfg.seq_len, dp_rank=comm.rank, dp_size=comm.size
-    )
-    optimizer = Adam(model.parameters(), lr=cfg.lr)
-    trainer = MoDaTrainer(
-        model,
-        optimizer,
-        groups,
-        schedule=ConstantLR(cfg.lr),
-        scaler=scaler,
-        allreduce_algorithm=cfg.allreduce_algorithm,
-    )
-
+    strategy = cfg.resolve_strategy()
+    trainer = strategy.build(comm, cfg, machine)
     losses: list[float] = []
     imbalances: list[float] = []
     for step in range(cfg.num_steps):
-        if timer is not None:
-            comm.advance(timer.dense_step_time(cfg.batch_size * cfg.seq_len))
-        result = trainer.train_step(loader.get_batch(step))
-        losses.append(result.global_loss)
-        loads = [
-            m.last_global_load
-            for m in model.moe_layers()
-            if getattr(m, "last_global_load", None) is not None
-        ]
-        if loads:
-            total = np.sum(loads, axis=0).astype(np.float64)
-            mean = total.mean()
-            imbalances.append(float(total.max() / mean) if mean > 0 else 1.0)
+        outcome = trainer.train_step(step)
+        losses.append(outcome.global_loss)
+        imbalances.append(outcome.imbalance)
     return {
         "losses": losses,
         "imbalance": float(np.mean(imbalances)) if imbalances else 1.0,
@@ -153,7 +146,14 @@ def run_distributed_training(
     network: NetworkModel | None = None,
     machine: MachineSpec | None = None,
 ) -> TrainingRunResult:
-    """Execute the SPMD training run and aggregate per-rank results."""
+    """Execute the SPMD training run and aggregate per-rank results.
+
+    Dispatches through the strategy registry: the config's layout (or an
+    explicit ``cfg.strategy`` name) selects how groups, model wrapper, and
+    the distributed step are built on every rank.
+    """
+    strategy = cfg.resolve_strategy()
+    strategy.validate(cfg)
     network = network or sunway_network(cfg.world_size)
     machine = machine or sunway_machine(num_nodes=cfg.world_size)
     spmd = run_spmd(
@@ -163,11 +163,13 @@ def run_distributed_training(
         seed=cfg.seed,
         timeout=cfg.timeout,
         args=(cfg, machine),
+        trace=cfg.trace,
     )
     losses = spmd.returns[0]["losses"]
     for r in spmd.returns[1:]:
         if not np.allclose(r["losses"], losses):
             raise ConfigError("ranks disagree on the global loss trajectory")
+    context = spmd.context
     return TrainingRunResult(
         losses=losses,
         simulated_time=spmd.simulated_time,
@@ -177,8 +179,15 @@ def run_distributed_training(
         meta={
             "world_size": cfg.world_size,
             "ep_size": cfg.ep_size,
+            "tp_size": cfg.tp_size,
+            "pp_size": cfg.pp_size,
+            "zero_shards": cfg.zero_shards,
+            "strategy": strategy.name,
             "mixed_precision": cfg.mixed_precision,
             "alltoall": cfg.alltoall_algorithm,
             "allreduce": cfg.allreduce_algorithm,
         },
+        phase_seconds=context.phase_seconds if context is not None else {},
+        context=context,
+        trace=spmd.trace,
     )

@@ -97,7 +97,10 @@ class ColumnParallelLinear(Module):
         full_b = np.zeros(out_features) if bias else None
         w, b = shard_linear_weights(full_w, full_b, tp_comm.rank, tp_comm.size, axis=1)
         self.weight = Parameter(w, dtype=dtype)
+        self.weight.is_tp = True
         self.bias = Parameter(b, dtype=dtype) if b is not None else None
+        if self.bias is not None:
+            self.bias.is_tp = True
 
     def forward(self, x: Tensor) -> Tensor:
         # "f" operator: every shard consumes the replicated input, so the
@@ -141,8 +144,10 @@ class RowParallelLinear(Module):
         full_b = np.zeros(out_features) if bias else None
         w, b = shard_linear_weights(full_w, full_b, tp_comm.rank, tp_comm.size, axis=0)
         self.weight = Parameter(w, dtype=dtype)
+        self.weight.is_tp = True
         # Bias is applied once, after the sum (only the values matter; all
-        # ranks hold the same copy and its gradient averages in DP).
+        # ranks hold the same copy and its gradient averages in DP), so it
+        # is *replicated*, not TP-sharded.
         self.bias = Parameter(b, dtype=dtype) if b is not None else None
 
     def forward(self, x_local: Tensor) -> Tensor:

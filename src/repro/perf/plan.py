@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.layout import ParallelLayout
 from repro.models.configs import ModelConfig
 
 __all__ = ["ParallelPlan"]
@@ -55,24 +56,35 @@ class ParallelPlan:
     #: compute (bucketed allreduce overlapping, as BaGuaLu-class systems
     #: do). 0 = fully exposed, 1 = hidden up to the compute time.
     overlap: float = 0.0
+    #: Tensor-parallel width (analytic side of the tp/tp_ep strategies).
+    tp_size: int = 1
+    #: Pipeline stages (analytic side of the pipeline strategies).
+    pp_size: int = 1
 
     def __post_init__(self) -> None:
-        if self.num_nodes < 1 or self.ep_size < 1:
-            raise ConfigError("num_nodes and ep_size must be >= 1")
-        if self.num_nodes % self.ep_size != 0:
-            raise ConfigError(
-                f"ep_size={self.ep_size} must divide num_nodes={self.num_nodes}"
-            )
+        # Divisibility across every parallel axis is validated by the same
+        # shared helper the measured runner uses, so an analytic plan and
+        # a launchable TrainingRunConfig can never drift.
+        _ = self.layout
         if self.micro_batch < 1 or self.seq_len < 1:
             raise ConfigError("micro_batch and seq_len must be >= 1")
-        if self.zero_shards < 1:
-            raise ConfigError("zero_shards must be >= 1")
         if self.load_imbalance < 1.0:
             raise ConfigError(
                 f"load_imbalance must be >= 1, got {self.load_imbalance}"
             )
         if not 0.0 <= self.overlap <= 1.0:
             raise ConfigError(f"overlap must be in [0, 1], got {self.overlap}")
+
+    @property
+    def layout(self) -> ParallelLayout:
+        """The shared, validated layout descriptor for this plan."""
+        return ParallelLayout(
+            world_size=self.num_nodes,
+            ep_size=self.ep_size,
+            tp_size=self.tp_size,
+            pp_size=self.pp_size,
+            zero_shards=self.zero_shards,
+        )
 
     @property
     def num_ep_groups(self) -> int:

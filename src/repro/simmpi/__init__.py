@@ -7,6 +7,7 @@ correct results and topology-aware simulated timings.
 """
 
 from repro.simmpi.comm import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Comm
+from repro.simmpi.context import RunContext
 from repro.simmpi.engine import SpmdResult, run_spmd
 from repro.simmpi.faults import FaultPlan, MessageFault
 from repro.simmpi.hier import hierarchical_alltoall
@@ -22,6 +23,7 @@ __all__ = [
     "MIN",
     "PROD",
     "Comm",
+    "RunContext",
     "SpmdResult",
     "run_spmd",
     "FaultPlan",

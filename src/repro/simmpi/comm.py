@@ -92,11 +92,13 @@ class _World:
         self.abort_exc: BaseException | None = None
         self.deadline = time.monotonic() + timeout
         self.faults = faults
-        self.stats = TrafficStats()
+        from repro.simmpi.context import RunContext  # local import: no cycle
+        from repro.simmpi.trace import TraceEvent
+        self.context = RunContext(trace=trace)
+        self.stats = self.context.stats
         self.op_counters = [0] * size
-        from repro.simmpi.trace import TraceEvent  # local import: no cycle
         self._trace_event_cls = TraceEvent
-        self.trace_events: list | None = [] if trace else None
+        self.trace_events: list | None = self.context.trace_events
 
     def record(self, rank: int, op: str, t0: float, t1: float, nbytes: int = 0) -> None:
         """Append a trace interval (call with the world lock held)."""
@@ -260,6 +262,11 @@ class Comm:
     @property
     def stats(self) -> TrafficStats:
         return self._state.world.stats
+
+    @property
+    def context(self):
+        """The run's shared :class:`~repro.simmpi.RunContext` spine."""
+        return self._state.world.context
 
     # ------------------------------------------------------------------ #
     # Virtual time

@@ -1,0 +1,118 @@
+"""RunContext: the single instrumentation spine of an SPMD run.
+
+Before this existed, one run scattered its observability across three
+disconnected paths — :class:`~repro.simmpi.stats.TrafficStats` counters in
+the engine, an optional :class:`~repro.simmpi.trace.TraceEvent` list, and
+ad-hoc per-phase timings stashed in trainer ``extras`` dicts. A
+:class:`RunContext` owns all three: the engine creates one per world,
+every communicator can reach it (``comm.context``), strategy trainers
+record phase timings into it, and the result objects /
+:class:`~repro.train.metrics.MetricsLogger` read it back out.
+
+All timings are *virtual* seconds (the modelled machine's clock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import ConfigError
+from repro.simmpi.stats import TrafficStats
+from repro.simmpi.trace import TraceEvent, write_chrome_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.comm import Comm
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Traffic counters + trace stream + phase timers for one SPMD world.
+
+    Shared by every rank thread of the run; phase accumulation is guarded
+    by a lock (TrafficStats and the trace list are already updated under
+    the world lock by the engine).
+    """
+
+    def __init__(self, trace: bool = False):
+        #: Aggregate traffic counters (updated by the engine).
+        self.stats = TrafficStats()
+        #: Virtual-time event stream, or None when tracing is off.
+        self.trace_events: list[TraceEvent] | None = [] if trace else None
+        self._phase_lock = threading.Lock()
+        self._phases: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Phase timers
+    # ------------------------------------------------------------------ #
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of virtual time under phase ``name``."""
+        if seconds < 0:
+            raise ConfigError(f"phase {name!r} got negative duration {seconds}")
+        with self._phase_lock:
+            self._phases[name] += seconds
+
+    @contextmanager
+    def timed(self, comm: "Comm", name: str) -> Iterator[None]:
+        """Record the virtual-clock delta of the wrapped block as a phase."""
+        t0 = comm.clock
+        try:
+            yield
+        finally:
+            self.add_phase(name, comm.clock - t0)
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Accumulated virtual seconds per phase, sorted by phase name."""
+        with self._phase_lock:
+            return {k: float(self._phases[k]) for k in sorted(self._phases)}
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tracing(self) -> bool:
+        """Whether this run records TraceEvents."""
+        return self.trace_events is not None
+
+    def summary(self) -> dict[str, Any]:
+        """One nested dict of everything the context observed."""
+        return {
+            "traffic": self.stats.summary(),
+            "phase_seconds": self.phase_seconds,
+            "num_trace_events": len(self.trace_events) if self.tracing else 0,
+            "tracing": self.tracing,
+        }
+
+    def metrics_record(self) -> dict[str, Any]:
+        """A flat record for :class:`~repro.train.metrics.MetricsLogger`.
+
+        Phase timers become ``phase_<name>`` keys; traffic totals keep
+        their summary names. Values are plain scalars, so the record is
+        safe for both JSONL and CSV sinks.
+        """
+        traffic = self.stats.summary()
+        record: dict[str, Any] = {
+            "p2p_messages": traffic["p2p_messages"],
+            "p2p_bytes": traffic["p2p_bytes"],
+            "total_bytes": traffic["total_bytes"],
+            "dropped_messages": traffic["dropped_messages"],
+        }
+        for name, seconds in self.phase_seconds.items():
+            record[f"phase_{name}"] = seconds
+        return record
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Export the trace stream as Chrome-tracing JSON."""
+        if self.trace_events is None:
+            raise ConfigError(
+                "run was not traced; launch with trace=True "
+                "(TrainingRunConfig(trace=True) or run_spmd(trace=True))"
+            )
+        return write_chrome_trace(self.trace_events, path)

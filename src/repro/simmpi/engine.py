@@ -48,6 +48,8 @@ class SpmdResult:
     meta: dict[str, Any] = field(default_factory=dict)
     #: Virtual-time trace events (populated when run_spmd(trace=True)).
     trace: list[Any] | None = None
+    #: The run's shared instrumentation spine (stats + trace + phases).
+    context: Any | None = None
 
     @property
     def simulated_time(self) -> float:
@@ -154,4 +156,5 @@ def run_spmd(
         stats=world.stats,
         meta={"size": size, "seed": seed, "has_network": network is not None},
         trace=world.trace_events,
+        context=world.context,
     )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 __all__ = ["TrafficStats"]
@@ -14,35 +15,47 @@ class TrafficStats:
     All byte figures are *logical payload* bytes (what the application
     moved), not modelled wire bytes; the virtual clock already accounts for
     protocol efficiency through the link model.
+
+    The per-op and per-rank counters are :class:`collections.Counter`
+    instances, and :meth:`summary` emits every key (top-level and nested)
+    in sorted order, so two logged runs diff cleanly line-for-line.
     """
 
     p2p_messages: int = 0
     p2p_bytes: int = 0
-    collective_calls: dict[str, int] = field(default_factory=dict)
-    collective_bytes: dict[str, int] = field(default_factory=dict)
-    bytes_sent_by_rank: dict[int, int] = field(default_factory=dict)
+    collective_calls: Counter[str] = field(default_factory=Counter)
+    collective_bytes: Counter[str] = field(default_factory=Counter)
+    bytes_sent_by_rank: Counter[int] = field(default_factory=Counter)
     dropped_messages: int = 0
 
     def record_p2p(self, src: int, nbytes: int) -> None:
         self.p2p_messages += 1
         self.p2p_bytes += nbytes
-        self.bytes_sent_by_rank[src] = self.bytes_sent_by_rank.get(src, 0) + nbytes
+        self.bytes_sent_by_rank[src] += nbytes
 
     def record_collective(self, op: str, nbytes: int) -> None:
-        self.collective_calls[op] = self.collective_calls.get(op, 0) + 1
-        self.collective_bytes[op] = self.collective_bytes.get(op, 0) + nbytes
+        self.collective_calls[op] += 1
+        self.collective_bytes[op] += nbytes
 
     @property
     def total_bytes(self) -> int:
         return self.p2p_bytes + sum(self.collective_bytes.values())
 
     def summary(self) -> dict[str, object]:
-        """A plain-dict snapshot convenient for logging."""
+        """A plain-dict snapshot convenient for logging.
+
+        Nested per-op / per-rank dicts are key-sorted so serialized
+        summaries are deterministic across runs.
+        """
         return {
-            "p2p_messages": self.p2p_messages,
-            "p2p_bytes": self.p2p_bytes,
-            "collective_calls": dict(self.collective_calls),
-            "collective_bytes": dict(self.collective_bytes),
-            "total_bytes": self.total_bytes,
+            "bytes_by_rank": {r: self.bytes_sent_by_rank[r]
+                              for r in sorted(self.bytes_sent_by_rank)},
+            "collective_bytes": {k: self.collective_bytes[k]
+                                 for k in sorted(self.collective_bytes)},
+            "collective_calls": {k: self.collective_calls[k]
+                                 for k in sorted(self.collective_calls)},
             "dropped_messages": self.dropped_messages,
+            "p2p_bytes": self.p2p_bytes,
+            "p2p_messages": self.p2p_messages,
+            "total_bytes": self.total_bytes,
         }

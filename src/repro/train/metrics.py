@@ -36,6 +36,7 @@ class MetricsLogger:
         self._fh = open(self.path, "a", buffering=1, newline="")
         self._format = suffix
         self._csv_writer: csv.DictWriter | None = None
+        self._fieldnames: list[str] | None = None
         self._count = 0
 
     def log(self, record: Mapping[str, Any]) -> None:
@@ -45,16 +46,34 @@ class MetricsLogger:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         else:
             if self._csv_writer is None:
-                self._csv_writer = csv.DictWriter(self._fh, fieldnames=sorted(record))
+                self._fieldnames = sorted(record)
+                self._csv_writer = csv.DictWriter(self._fh, fieldnames=self._fieldnames)
                 if self._needs_header:
                     self._csv_writer.writeheader()
-            try:
-                self._csv_writer.writerow(record)
-            except ValueError as exc:
+            header = set(self._fieldnames or [])
+            keys = set(record)
+            if keys != header:
+                unexpected = sorted(keys - header)
+                missing = sorted(header - keys)
+                detail = []
+                if unexpected:
+                    detail.append(f"unexpected keys {unexpected}")
+                if missing:
+                    detail.append(f"missing keys {missing}")
                 raise ConfigError(
-                    f"CSV record keys changed mid-file: {sorted(record)}"
-                ) from exc
+                    "CSV record does not match the header fixed by the first "
+                    f"record: {'; '.join(detail)}"
+                )
+            self._csv_writer.writerow(record)
         self._count += 1
+
+    def log_context(self, context, **extra: Any) -> None:
+        """Append a :class:`~repro.simmpi.RunContext` snapshot as one flat
+        record (traffic totals + ``phase_<name>`` timers), merged with any
+        ``extra`` key/value pairs."""
+        record = dict(context.metrics_record())
+        record.update(extra)
+        self.log(record)
 
     @property
     def records_written(self) -> int:

@@ -98,7 +98,14 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "simulated step time" in out
-        assert len(read_jsonl(metrics)) == 2
+        records = read_jsonl(metrics)
+        # One record per step plus one RunContext summary at the end.
+        assert len(records) == 3
+        assert [r["step"] for r in records[:2]] == [0, 1]
+        summary = records[-1]
+        assert summary["total_bytes"] > 0
+        assert summary["strategy"] == "moda"
+        assert any(k.startswith("phase_") for k in summary)
 
     def test_project_command(self, capsys):
         assert main(["project", "--model", "174T", "--zero", "64"]) == 0
