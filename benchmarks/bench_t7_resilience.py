@@ -3,14 +3,17 @@
 At 96,000 nodes faults are routine; the checkpoint interval trades steady-
 state overhead against work lost per failure. This bench crashes a run at
 a fixed step under several intervals and reports the recomputed steps,
-plus verifies the recovered trajectory matches an undisturbed run.
+verifies the recovered trajectory matches an undisturbed run, and sweeps
+the node MTBF through the elastic supervisor to chart goodput/availability
+against failure rate (T7c).
 """
 
 import numpy as np
 
 from repro.models import tiny_config
 from repro.parallel import ResilientRunConfig, run_resilient_training
-from repro.simmpi import FaultPlan
+from repro.resilience import ElasticRunConfig, Supervisor
+from repro.simmpi import FaultModel, FaultPlan
 
 CFG = tiny_config(num_experts=4)
 TOTAL = 8
@@ -91,3 +94,48 @@ def test_t7_recovery_is_exact(benchmark, report, tmp_path):
     report("t7_exactness", "T7b: recovered vs healthy trajectory", rows)
     assert rows[0]["restarts"] == 1
     assert rows[0]["max_loss_difference"] < 1e-6
+
+
+def test_t7_goodput_vs_mtbf(benchmark, report, tmp_path):
+    """Sweep node MTBF through the elastic supervisor.
+
+    Virtual step times for the tiny model are ~1e-4 s, so the MTBF grid
+    spans "a failure every step or two" up to "effectively healthy"; the
+    backoff base is scaled to the same regime. Goodput (surviving
+    step-work per session second) should recover toward 1.0 as the
+    machine gets healthier.
+    """
+
+    def sweep():
+        rows = []
+        for mtbf in (3e-4, 1e-3, 1e-2, None):
+            cfg = ElasticRunConfig(
+                model=CFG, world_size=4, ep_size=2, total_steps=TOTAL,
+                checkpoint_every=2,
+                checkpoint_dir=tmp_path / f"mtbf{mtbf or 'inf'}",
+                batch_size=2, seq_len=8, seed=0,
+                max_restarts=30, backoff_base=1e-4, backoff_cap=1e-3,
+            )
+            res = Supervisor(
+                cfg, faults=FaultModel(seed=1, mtbf=mtbf) if mtbf else None
+            ).run()
+            rows.append(
+                {
+                    "mtbf_s": mtbf if mtbf is not None else float("inf"),
+                    "restarts": res.restarts,
+                    "shrinks": res.shrinks,
+                    "final_world": res.final_world_size,
+                    "lost_steps": res.lost_steps,
+                    "goodput": res.goodput,
+                    "availability": res.availability,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("t7_goodput", "T7c: goodput vs node MTBF (elastic supervisor)", rows)
+
+    goodput = [r["goodput"] for r in rows]
+    assert goodput[-1] == 1.0  # healthy machine: no overhead at all
+    assert goodput == sorted(goodput)  # healthier machine, better goodput
+    assert rows[0]["restarts"] > 0  # failure-dominated regime really failed

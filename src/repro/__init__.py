@@ -14,7 +14,9 @@ Python over a simulated substrate:
 * :mod:`repro.amp` — mixed precision (master weights, dynamic loss scaling);
 * :mod:`repro.train` — optimizers, schedules, trainer, checkpoints;
 * :mod:`repro.data` — synthetic Zipf corpus and sharded dataloaders;
-* :mod:`repro.perf` — analytic per-step time/FLOPS model up to 37 M cores.
+* :mod:`repro.perf` — analytic per-step time/FLOPS model up to 37 M cores;
+* :mod:`repro.resilience` — stochastic fault models, a recovery
+  supervisor with backoff, and elastic shrink-and-reshard restarts.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -23,5 +25,22 @@ paper-vs-measured record.
 __version__ = "1.1.0"
 
 from repro.layout import ParallelLayout
+from repro.resilience import (
+    ElasticRunConfig,
+    ElasticRunResult,
+    Supervisor,
+    run_elastic_training,
+)
+from repro.simmpi import FaultModel, FaultPlan, FlakyLink
 
-__all__ = ["__version__", "ParallelLayout"]
+__all__ = [
+    "__version__",
+    "ParallelLayout",
+    "ElasticRunConfig",
+    "ElasticRunResult",
+    "FaultModel",
+    "FaultPlan",
+    "FlakyLink",
+    "Supervisor",
+    "run_elastic_training",
+]

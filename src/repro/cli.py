@@ -6,6 +6,9 @@ Commands
 ``distributed`` simulated multi-rank training with virtual timing; any
                 registered strategy (dp/ep/moda/tp/zero/pipeline and
                 composites) via ``--ep/--tp/--pp/--zero/--strategy``
+``resilient``   supervised fault-tolerant training: stochastic faults
+                (``--mtbf``, ``--dead-node``, ``--straggler``), capped
+                backoff, and elastic shrink-and-reshard restarts
 ``project``     brain-scale performance/memory projection
 ``configs``     print the model configuration table
 
@@ -101,6 +104,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_3d.add_argument("--batch-size", type=int, default=4)
     p_3d.add_argument("--seq-len", type=int, default=16)
     p_3d.add_argument("--seed", type=int, default=0)
+
+    p_res = sub.add_parser(
+        "resilient",
+        help="supervised fault-tolerant training (stochastic faults, "
+             "backoff, elastic shrink-and-reshard)",
+    )
+    p_res.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
+    p_res.add_argument("--world", type=int, default=4)
+    p_res.add_argument("--ep", type=int, default=2)
+    p_res.add_argument("--steps", type=int, default=8)
+    p_res.add_argument("--batch-size", type=int, default=4)
+    p_res.add_argument("--seq-len", type=int, default=8)
+    p_res.add_argument("--checkpoint-every", type=int, default=2)
+    p_res.add_argument("--checkpoint-dir", default=None,
+                       help="snapshot directory (default: a fresh temp dir)")
+    p_res.add_argument("--seed", type=int, default=0,
+                       help="seed for both training and the fault model")
+    p_res.add_argument("--mtbf", type=float, default=None,
+                       help="per-node mean time between failures "
+                            "(virtual seconds; exponential draws)")
+    p_res.add_argument("--dead-node", type=int, action="append", default=None,
+                       metavar="NODE", help="permanently failed node "
+                       "(repeatable)")
+    p_res.add_argument("--straggler", action="append", default=None,
+                       metavar="NODE:FACTOR",
+                       help="slow node, e.g. '2:1.5' (repeatable)")
+    p_res.add_argument("--elastic", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="shrink-and-reshard after repeated failures "
+                            "of one node (--no-elastic: always relaunch "
+                            "at full width)")
+    p_res.add_argument("--shrink-after", type=int, default=2,
+                       help="blamed failures on one node before shrinking")
+    p_res.add_argument("--min-world", type=int, default=1)
+    p_res.add_argument("--max-restarts", type=int, default=5)
+    p_res.add_argument("--backoff-base", type=float, default=5.0,
+                       help="first-retry backoff (virtual seconds)")
+    p_res.add_argument("--metrics", default=None,
+                       help="JSONL metrics file (losses + lifecycle events)")
+    p_res.add_argument("--trace", default=None, metavar="OUT_JSON",
+                       help="write a Chrome-tracing JSON of the session")
 
     p_proj = sub.add_parser("project", help="brain-scale projection")
     p_proj.add_argument("--model", choices=sorted(BRAIN_SCALE_CONFIGS), default="14.5T")
@@ -257,6 +301,96 @@ def _cmd_3d(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilient(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.errors import ConfigError
+    from repro.resilience import ElasticRunConfig, Supervisor
+    from repro.simmpi import FaultModel
+
+    cfg = _CONFIGS[args.config]()
+    if cfg.num_experts % args.ep != 0:
+        cfg = cfg.scaled(num_experts=args.ep * max(cfg.num_experts // args.ep, 1))
+
+    stragglers = {}
+    for spec in args.straggler or []:
+        try:
+            node, factor = spec.split(":")
+            stragglers[int(node)] = float(factor)
+        except ValueError:
+            raise ConfigError(
+                f"--straggler wants NODE:FACTOR (e.g. 2:1.5), got {spec!r}"
+            ) from None
+    faults = None
+    if args.mtbf is not None or args.dead_node or stragglers:
+        faults = FaultModel(
+            seed=args.seed,
+            mtbf=args.mtbf,
+            dead_nodes=tuple(args.dead_node or ()),
+            stragglers=stragglers or None,
+        )
+
+    ckpt_dir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-ckpt-")
+    run_cfg = ElasticRunConfig(
+        model=cfg,
+        world_size=args.world,
+        ep_size=args.ep,
+        total_steps=args.steps,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=ckpt_dir,
+        batch_size=args.batch_size,
+        seq_len=args.seq_len,
+        seed=args.seed,
+        max_restarts=args.max_restarts,
+        backoff_base=args.backoff_base,
+        elastic=args.elastic,
+        shrink_after=args.shrink_after,
+        min_world_size=args.min_world,
+        trace=args.trace is not None,
+    )
+    fault_desc = "healthy machine" if faults is None else (
+        f"mtbf={args.mtbf} dead={tuple(args.dead_node or ())} "
+        f"stragglers={stragglers or {}}"
+    )
+    print(f"supervising {args.world} ranks (ep={args.ep}) for {args.steps} "
+          f"steps [{fault_desc}]")
+    print(f"checkpoints: {ckpt_dir}")
+    result = Supervisor(run_cfg, faults=faults).run()
+
+    for event in result.context.events:
+        extra = {k: v for k, v in event.items() if k not in ("kind", "t")}
+        detail = " ".join(f"{k}={v}" for k, v in extra.items())
+        print(f"  [t={event['t']:.3g}s] {event['kind']:<16} {detail}")
+    for step, loss in zip(
+        range(result.first_step, result.first_step + len(result.losses)),
+        result.losses,
+    ):
+        print(f"  step {step:3d}  global loss {loss:.4f}")
+    print(f"restarts / shrinks : {result.restarts} / {result.shrinks}")
+    print(f"world history      : {' -> '.join(map(str, result.world_history))}")
+    print(f"lost step-work     : {result.lost_steps} steps")
+    print(f"useful / lost / backoff time: {format_time(result.useful_time)} / "
+          f"{format_time(result.lost_time)} / {format_time(result.backoff_time)}")
+    print(f"goodput            : {result.goodput:.1%}")
+    print(f"availability       : {result.availability:.1%}")
+
+    if args.metrics:
+        with MetricsLogger(args.metrics) as logger:
+            for step, loss in zip(
+                range(result.first_step, result.first_step + len(result.losses)),
+                result.losses,
+            ):
+                logger.log({"record": "step", "step": step, "loss": loss})
+            if logger.path.suffix == ".jsonl":
+                logger.log_events(result.context.events, record="event")
+                logger.log({"record": "summary", **result.metrics_record()})
+        print(f"metrics            : {args.metrics}")
+    if args.trace:
+        path = result.context.write_chrome_trace(args.trace)
+        print(f"chrome trace       : {path}")
+    return 0
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.hardware import SUNWAY_NODE, sunway_machine
     from repro.network import sunway_network
@@ -308,6 +442,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "train": _cmd_train,
         "distributed": _cmd_distributed,
         "3d": _cmd_3d,
+        "resilient": _cmd_resilient,
         "project": _cmd_project,
         "configs": _cmd_configs,
     }

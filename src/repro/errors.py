@@ -30,7 +30,16 @@ class DeadlockError(CommunicatorError):
 
 
 class FaultInjected(CommunicatorError):
-    """A fault-injection plan killed a message or a rank on purpose."""
+    """A fault-injection plan killed a message or a rank on purpose.
+
+    ``rank`` identifies the world rank that was killed (None for message
+    faults), so recovery drivers can attribute repeated failures to one
+    node and exclude it from the next allocation.
+    """
+
+    def __init__(self, message: str = "", rank: int | None = None):
+        super().__init__(message)
+        self.rank = rank
 
 
 class TopologyError(ReproError):

@@ -16,8 +16,12 @@ from repro.parallel.dp import (
 from repro.parallel.dist_checkpoint import (
     dense_state,
     global_expert_state,
+    latest_snapshot,
     load_distributed,
+    load_named_optimizer_state,
+    named_optimizer_state,
     save_distributed,
+    verify_snapshot,
 )
 from repro.parallel.ep import DistributedMoELayer
 from repro.parallel.grid3d import Grid3D, Groups3D, Step3DResult, Trainer3D, build_groups3d
@@ -67,8 +71,12 @@ __all__ = [
     "strategy_for_layout",
     "dense_state",
     "global_expert_state",
+    "latest_snapshot",
     "load_distributed",
+    "load_named_optimizer_state",
+    "named_optimizer_state",
     "save_distributed",
+    "verify_snapshot",
     "GPipeRunner",
     "Grid3D",
     "Groups3D",

@@ -12,6 +12,11 @@ reproduces that loop on the simulated machine:
 * training is deterministic, so a faulted-and-recovered run reproduces
   the loss trajectory of an undisturbed one exactly — which is how the
   recovery path is tested.
+
+This driver always relaunches at full width. :mod:`repro.resilience`
+generalizes the loop: stochastic fault models, failure classification,
+capped exponential backoff, and elastic shrink-and-reshard restarts that
+finish the schedule on a narrower world.
 """
 
 from __future__ import annotations
@@ -23,9 +28,13 @@ from typing import Any
 import numpy as np
 
 from repro.data import ShardedLoader, SyntheticCorpus
-from repro.errors import CommunicatorError, ConfigError
+from repro.errors import CommunicatorError, ConfigError, ReproError
 from repro.models.configs import ModelConfig
-from repro.parallel.dist_checkpoint import load_distributed, save_distributed
+from repro.parallel.dist_checkpoint import (
+    latest_snapshot,
+    load_distributed,
+    save_distributed,
+)
 from repro.parallel.groups import build_groups
 from repro.parallel.moda import MoDaTrainer, build_moda_model
 from repro.simmpi import FaultPlan, run_spmd
@@ -81,26 +90,17 @@ class ResilientRunResult:
 
 
 def _latest_checkpoint(ckpt_dir: Path) -> tuple[Path | None, int]:
-    """Newest *complete* per-step snapshot (meta.json present), or None.
+    """Newest *verified* per-step snapshot, or ``(None, 0)``.
 
-    Snapshots live in ``step-<n>/`` subdirectories; because the metadata
-    file is written last (after a barrier over all shards), a directory
-    with meta.json is guaranteed complete — a crash mid-save can never
-    corrupt an older snapshot.
+    Snapshots live in ``step-<n>/`` subdirectories. The metadata file is
+    written last (after the shard-manifest gather), so a directory with
+    ``meta.json`` was complete at save time; on top of that,
+    :func:`~repro.parallel.dist_checkpoint.latest_snapshot` re-checks the
+    manifest on every restart, so a shard lost or truncated *after* the
+    save (disk trouble, manual deletion) disqualifies the snapshot and
+    recovery falls back to an older one instead of crashing mid-restore.
     """
-    best: tuple[Path | None, int] = (None, 0)
-    if not ckpt_dir.exists():
-        return best
-    for sub in ckpt_dir.glob("step-*"):
-        if not (sub / "meta.json").exists():
-            continue  # partial save from a crashed run
-        try:
-            step = int(sub.name.split("-")[1])
-        except (IndexError, ValueError):
-            continue
-        if step > best[1]:
-            best = (sub, step)
-    return best
+    return latest_snapshot(ckpt_dir)
 
 
 def _segment_program(comm, cfg: ResilientRunConfig, start_step: int, resume_dir: str | None):
@@ -172,9 +172,12 @@ def run_resilient_training(
                 faults=plan,
                 args=(cfg, start, str(resume_dir) if resume_dir else None),
             )
-        except Exception:
-            # Any failure (fault kill, deadlock) -> roll back to the last
-            # checkpoint. Partial results died with the world.
+        except ReproError:
+            # A modelled failure (fault kill, deadlock, overflow) -> roll
+            # back to the last checkpoint; partial results died with the
+            # world. Programming errors (TypeError etc.) propagate — per
+            # the repro.errors contract they must never look like a
+            # recoverable hardware fault.
             restarts += 1
             attempt += 1
             continue

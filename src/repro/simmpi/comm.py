@@ -92,6 +92,12 @@ class _World:
         self.abort_exc: BaseException | None = None
         self.deadline = time.monotonic() + timeout
         self.faults = faults
+        if faults is not None:
+            # Stochastic models map ranks onto their node fleet and draw
+            # this launch's failure times; scripted plans no-op.
+            on_launch = getattr(faults, "on_launch", None)
+            if on_launch is not None:
+                on_launch(size)
         from repro.simmpi.context import RunContext  # local import: no cycle
         from repro.simmpi.trace import TraceEvent
         self.context = RunContext(trace=trace)
@@ -273,10 +279,18 @@ class Comm:
     # ------------------------------------------------------------------ #
 
     def advance(self, seconds: float) -> None:
-        """Add local compute time to this rank's virtual clock."""
+        """Add local compute time to this rank's virtual clock.
+
+        A fault plan/model can stretch the rank's compute time through its
+        ``compute_scale`` hook — that is how straggler nodes slow the
+        whole synchronous world down to their pace.
+        """
         if seconds < 0:
             raise CommunicatorError(f"cannot advance clock by {seconds}")
         world = self._state.world
+        scale_of = getattr(world.faults, "compute_scale", None)
+        if scale_of is not None:
+            seconds *= scale_of(self.world_rank)
         with world.lock:
             t0 = world.clocks[self.world_rank]
             world.clocks[self.world_rank] = t0 + seconds
@@ -292,9 +306,12 @@ class Comm:
             idx = world.op_counters[self.world_rank]
             world.op_counters[self.world_rank] = idx + 1
             plan = world.faults
-        if plan is not None and plan.should_kill(self.world_rank, idx):
+            clock = world.clocks[self.world_rank]
+        if plan is not None and plan.should_kill(self.world_rank, idx, clock):
             raise FaultInjected(
-                f"rank {self.world_rank} killed by fault plan at op {idx}"
+                f"rank {self.world_rank} killed by fault plan at op {idx} "
+                f"(virtual t={clock:.6f}s)",
+                rank=self.world_rank,
             )
 
     # ------------------------------------------------------------------ #

@@ -45,6 +45,9 @@ class RunContext:
         self.trace_events: list[TraceEvent] | None = [] if trace else None
         self._phase_lock = threading.Lock()
         self._phases: Counter[str] = Counter()
+        #: Run-lifecycle events (restart / backoff / reshard ...): plain
+        #: dicts with at least ``kind`` and a virtual timestamp ``t``.
+        self.events: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------ #
     # Phase timers
@@ -73,6 +76,60 @@ class RunContext:
             return {k: float(self._phases[k]) for k in sorted(self._phases)}
 
     # ------------------------------------------------------------------ #
+    # Lifecycle events + session aggregation
+    # ------------------------------------------------------------------ #
+
+    def record_event(self, kind: str, t: float = 0.0, **fields: Any) -> dict[str, Any]:
+        """Append a lifecycle event (restart / backoff / reshard / ...).
+
+        ``t`` is the event's virtual timestamp. When tracing, the event
+        also lands in the trace stream as a zero-byte instant on rank 0,
+        so recovery structure is visible next to the communication
+        timeline in ``chrome://tracing``.
+        """
+        event = {"kind": kind, "t": float(t), **fields}
+        with self._phase_lock:
+            self.events.append(event)
+        if self.trace_events is not None:
+            self.trace_events.append(
+                TraceEvent(rank=0, op=f"event:{kind}", t_start=t, t_end=t)
+            )
+        return event
+
+    def events_of(self, kind: str) -> list[dict[str, Any]]:
+        """Every recorded event of one ``kind``, in record order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def absorb(self, other: "RunContext", clock_offset: float = 0.0) -> None:
+        """Fold another context into this one (session aggregation).
+
+        Recovery drivers run many SPMD launches, each with its own
+        engine-created context; absorbing them (trace timestamps shifted
+        by ``clock_offset`` onto the session timeline) yields one spine
+        for the whole fault-tolerant session.
+        """
+        self.stats.merge(other.stats)
+        with self._phase_lock:
+            for name, seconds in other._phases.items():
+                self._phases[name] += seconds
+        if self.trace_events is not None and other.trace_events is not None:
+            for e in other.trace_events:
+                self.trace_events.append(
+                    TraceEvent(
+                        rank=e.rank,
+                        op=e.op,
+                        t_start=e.t_start + clock_offset,
+                        t_end=e.t_end + clock_offset,
+                        nbytes=e.nbytes,
+                    )
+                )
+        with self._phase_lock:
+            for event in other.events:
+                shifted = dict(event)
+                shifted["t"] = event.get("t", 0.0) + clock_offset
+                self.events.append(shifted)
+
+    # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
 
@@ -87,6 +144,7 @@ class RunContext:
             "traffic": self.stats.summary(),
             "phase_seconds": self.phase_seconds,
             "num_trace_events": len(self.trace_events) if self.tracing else 0,
+            "num_events": len(self.events),
             "tracing": self.tracing,
         }
 
@@ -106,6 +164,9 @@ class RunContext:
         }
         for name, seconds in self.phase_seconds.items():
             record[f"phase_{name}"] = seconds
+        kinds = Counter(e["kind"] for e in self.events)
+        for kind in sorted(kinds):
+            record[f"events_{kind}"] = int(kinds[kind])
         return record
 
     def write_chrome_trace(self, path: str | Path) -> Path:

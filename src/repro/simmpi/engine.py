@@ -27,7 +27,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import CommunicatorError, RankAbort
 from repro.simmpi.comm import Comm, _CommState, _World
-from repro.simmpi.faults import FaultPlan
+from repro.simmpi.faults import FaultModel, FaultPlan
 from repro.simmpi.stats import TrafficStats
 from repro.utils.seeding import rng_for_rank
 
@@ -64,7 +64,7 @@ def run_spmd(
     network: Any | None = None,
     seed: int = 0,
     timeout: float = 120.0,
-    faults: FaultPlan | None = None,
+    faults: FaultPlan | FaultModel | None = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
     pass_rng: bool = False,
@@ -87,7 +87,9 @@ def run_spmd(
     timeout:
         Wall-clock seconds before blocked ranks raise ``DeadlockError``.
     faults:
-        Optional :class:`~repro.simmpi.FaultPlan` for failure injection.
+        Optional :class:`~repro.simmpi.FaultPlan` (scripted) or
+        :class:`~repro.simmpi.FaultModel` (seeded stochastic) for failure
+        injection.
 
     Returns
     -------
@@ -148,6 +150,11 @@ def run_spmd(
     if primary is None and world.abort_exc is not None:
         primary = world.abort_exc
     if primary is not None:
+        # Recovery drivers charge a crashed attempt's virtual time and
+        # traffic to their goodput accounting even though no SpmdResult
+        # is returned; ferry the partial observations on the exception.
+        primary.partial_clocks = list(world.clocks)
+        primary.partial_context = world.context
         raise primary
 
     return SpmdResult(

@@ -41,6 +41,19 @@ class TrafficStats:
     def total_bytes(self) -> int:
         return self.p2p_bytes + sum(self.collective_bytes.values())
 
+    def merge(self, other: "TrafficStats") -> None:
+        """Fold another run's counters into this one.
+
+        Recovery drivers use this to account a whole multi-launch session
+        (including crashed attempts) under one aggregate.
+        """
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.collective_calls.update(other.collective_calls)
+        self.collective_bytes.update(other.collective_bytes)
+        self.bytes_sent_by_rank.update(other.bytes_sent_by_rank)
+        self.dropped_messages += other.dropped_messages
+
     def summary(self) -> dict[str, object]:
         """A plain-dict snapshot convenient for logging.
 

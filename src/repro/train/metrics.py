@@ -75,6 +75,27 @@ class MetricsLogger:
         record.update(extra)
         self.log(record)
 
+    def log_events(self, events, **extra: Any) -> int:
+        """Append one record per lifecycle event (restart/backoff/...).
+
+        ``events`` is an iterable of flat dicts as recorded by
+        :meth:`~repro.simmpi.RunContext.record_event`. Event records have
+        heterogeneous keys, so this requires a JSONL sink (CSV headers are
+        fixed by the first record). Returns the number written.
+        """
+        if self._format != ".jsonl":
+            raise ConfigError(
+                "log_events needs a .jsonl sink; event records have "
+                "heterogeneous keys that a CSV header cannot hold"
+            )
+        n = 0
+        for event in events:
+            record = dict(event)
+            record.update(extra)
+            self.log(record)
+            n += 1
+        return n
+
     @property
     def records_written(self) -> int:
         return self._count

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.train",
     "repro.data",
     "repro.perf",
+    "repro.resilience",
     "repro.cli",
     "repro.errors",
     "repro.utils",
@@ -38,6 +39,18 @@ def test_all_names_resolve(name):
     mod = importlib.import_module(name)
     for export in getattr(mod, "__all__", []):
         assert hasattr(mod, export), f"{name}.__all__ lists missing {export!r}"
+
+
+def test_root_exports_resilience_surface():
+    import repro
+
+    for name in (
+        "FaultModel", "FaultPlan", "FlakyLink",
+        "Supervisor", "ElasticRunConfig", "ElasticRunResult",
+        "run_elastic_training",
+    ):
+        assert hasattr(repro, name), name
+        assert name in repro.__all__
 
 
 def test_version_string():
@@ -103,6 +116,14 @@ class TestKeyAPIsHaveDocstrings:
             "repro.parallel.Trainer3D",
             "repro.parallel.ZeroAdamW",
             "repro.parallel.run_resilient_training",
+            "repro.parallel.named_optimizer_state",
+            "repro.parallel.verify_snapshot",
+            "repro.resilience.Supervisor",
+            "repro.resilience.Supervisor.run",
+            "repro.resilience.ElasticStepDriver",
+            "repro.resilience.classify_failure",
+            "repro.simmpi.FaultModel",
+            "repro.simmpi.FlakyLink",
             "repro.perf.StepModel",
             "repro.perf.calibrate_efficiency",
             "repro.train.Trainer",

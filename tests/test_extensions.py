@@ -188,20 +188,24 @@ class TestOptimizerDistCheckpoint:
         assert all(c == 2 for c in loaded.returns)
         assert saved.returns[0]  # state keys existed
 
-    def test_optimizer_restore_wrong_world_size(self, tmp_path):
+    def test_optimizer_restore_across_world_sizes(self, tmp_path):
+        # Format 2 keys optimizer slots by global parameter name, so a
+        # world-4 snapshot restores into a world-2 run (the elastic path);
+        # the legacy world_rank/world_size coords are accepted and ignored.
         run_spmd(lambda c: self._train_and_save(tmp_path, c), 4, timeout=300)
 
-        def bad_load(comm):
+        def shrunk_load(comm):
             groups = build_groups(comm, 2)
             model = build_moda_model(self.CFG, groups, seed=0)
             opt = Adam(model.parameters(), lr=1e-3)
             load_distributed(tmp_path / "ckpt", model, optimizer=opt,
                              world_rank=comm.rank, world_size=comm.size)
+            return opt.step_count
 
-        with pytest.raises(CheckpointError, match="world_size"):
-            run_spmd(bad_load, 2, timeout=300)
+        loaded = run_spmd(shrunk_load, 2, timeout=300)
+        assert loaded.returns == [2, 2]
 
-    def test_optimizer_restore_requires_coords(self, tmp_path):
+    def test_optimizer_restore_without_coords(self, tmp_path):
         run_spmd(lambda c: self._train_and_save(tmp_path, c), 4, timeout=300)
 
         def load_no_coords(comm):
@@ -209,6 +213,7 @@ class TestOptimizerDistCheckpoint:
             model = build_moda_model(self.CFG, groups, seed=0)
             opt = Adam(model.parameters(), lr=1e-3)
             load_distributed(tmp_path / "ckpt", model, optimizer=opt)
+            return opt.step_count
 
-        with pytest.raises(CheckpointError, match="world_rank"):
-            run_spmd(load_no_coords, 4, timeout=300)
+        loaded = run_spmd(load_no_coords, 4, timeout=300)
+        assert all(c == 2 for c in loaded.returns)
