@@ -1,0 +1,157 @@
+"""T8 (extension) — serving: continuous batching + KV cache vs generate().
+
+The training side of the reproduction measures step time; this bench
+measures the *serving* side on the same virtual clock and network model.
+One table, three regimes on a world of 4 EP ranks:
+
+* the sequential uncached baseline (FIFO depth-1 per rank, full window
+  re-forward per token — what looping ``generate(use_cache=False)`` does);
+* continuous batching at several slot counts, all requests at t=0
+  (throughput regime; the acceptance bar is >= 5x baseline decode
+  throughput);
+* continuous batching under Poisson arrivals at increasing rates
+  (latency regime: TTFT and per-token p95 as the system saturates).
+
+Run standalone as ``python benchmarks/bench_t8_serving.py --smoke`` for a
+seconds-scale CI smoke (small world, asserts the machinery end to end).
+"""
+
+from repro.models import small_config
+from repro.serve import ServeConfig, run_sequential_baseline, run_serving
+
+CFG = small_config(vocab_size=256)
+WORLD = 4
+REQUESTS = 32
+MAX_NEW = 32
+
+SPEEDUP_FLOOR = 5.0
+
+_US = 1e6  # virtual seconds -> microseconds for readable cells
+
+
+def _serve_cfg(**overrides) -> ServeConfig:
+    base = dict(
+        model=CFG, ep_size=WORLD, num_requests=REQUESTS, prompt_len=8,
+        prompt_len_max=16, max_new_tokens=MAX_NEW, max_batch_size=8, seed=0,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def _row(label, res, baseline_throughput=None):
+    rate = res.config.arrival_rate
+    return {
+        "mode": label,
+        "batch": res.config.max_batch_size,
+        "arrival_req_s": 0.0 if rate is None else rate,
+        "completed": res.completed,
+        "evicted": res.evicted,
+        "makespan_us": res.simulated_time * _US,
+        "tok_per_s": res.throughput,
+        "speedup": (
+            1.0 if baseline_throughput is None
+            else res.throughput / baseline_throughput
+        ),
+        "ttft_p50_us": res.ttft.percentile(50) * _US if res.ttft.count else 0.0,
+        "ttft_p95_us": res.ttft.percentile(95) * _US if res.ttft.count else 0.0,
+        "token_p95_us": (
+            res.token_latency.percentile(95) * _US
+            if res.token_latency.count else 0.0
+        ),
+    }
+
+
+def test_t8_serving(benchmark, report):
+    def measure():
+        rows = []
+        base = run_sequential_baseline(_serve_cfg())
+        rows.append(_row("sequential", base))
+        bt = base.throughput
+        # Throughput regime: all requests at t=0, growing slot counts.
+        for batch in (1, 4, 8):
+            res = run_serving(_serve_cfg(max_batch_size=batch))
+            rows.append(_row("continuous", res, baseline_throughput=bt))
+        # Latency regime: Poisson arrivals approaching saturation.
+        for rate in (4e3, 16e3, 64e3):
+            res = run_serving(_serve_cfg(arrival_rate=rate))
+            rows.append(_row("continuous", res, baseline_throughput=bt))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "t8_serving",
+        f"T8: serving on {WORLD} EP ranks ({REQUESTS} reqs x {MAX_NEW} new "
+        f"tokens, {CFG.name} d{CFG.d_model}x{CFG.n_layers}L "
+        f"{CFG.num_experts}e)",
+        rows,
+    )
+
+    seq = rows[0]
+    cont = [r for r in rows if r["mode"] == "continuous"]
+    # Everything completes when no SLO is set.
+    assert all(r["completed"] == REQUESTS and r["evicted"] == 0 for r in rows)
+    # The acceptance bar: continuous batching + KV cache beats the
+    # sequential uncached baseline by >= 5x decode throughput.
+    best = max(r["speedup"] for r in cont)
+    assert best >= SPEEDUP_FLOOR, f"best speedup {best:.2f}x < {SPEEDUP_FLOOR}x"
+    # Even a single cached slot beats uncached re-forwarding.
+    assert cont[0]["batch"] == 1 and cont[0]["speedup"] > 1.0
+    # More slots never hurt throughput in the t=0 regime.
+    t0 = [r for r in cont if r["arrival_req_s"] == 0.0]
+    assert all(a["tok_per_s"] <= b["tok_per_s"] * 1.01
+               for a, b in zip(t0, t0[1:]))
+    # Saturation: higher arrival rates push TTFT p95 up (queueing).
+    rated = [r for r in cont if r["arrival_req_s"] > 0.0]
+    assert rated[-1]["ttft_p95_us"] >= rated[0]["ttft_p95_us"]
+    assert seq["tok_per_s"] > 0
+
+
+def _smoke() -> int:
+    """Seconds-scale end-to-end check for CI (returns a process rc)."""
+    cfg = _serve_cfg(
+        ep_size=2, num_requests=8, max_new_tokens=8, max_batch_size=4,
+    )
+    cont = run_serving(cfg)
+    base = run_sequential_baseline(cfg)
+    ok = (
+        cont.completed == base.completed == cfg.num_requests
+        and cont.decode_tokens == cfg.num_requests * cfg.max_new_tokens
+        and cont.throughput > base.throughput
+        and {r["rid"]: r["tokens"] for r in cont.requests}
+        == {r["rid"]: r["tokens"] for r in base.requests}
+    )
+    speedup = cont.throughput / base.throughput if base.throughput else float("nan")
+    print(
+        f"t8 smoke: continuous {cont.throughput:,.0f} tok/s vs sequential "
+        f"{base.throughput:,.0f} tok/s ({speedup:.2f}x), "
+        f"{cont.completed}/{cfg.num_requests} completed, tokens "
+        f"{'match' if ok else 'MISMATCH'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast end-to-end check (CI)")
+    if ap.parse_args().smoke:
+        sys.exit(_smoke())
+    # Full table without pytest: reuse the conftest formatting.
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    from conftest import OUT_DIR, format_table
+
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, **kw):
+            return fn()
+
+    def _report(name, title, rows):
+        text = format_table(title, rows)
+        print(text)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text)
+
+    test_t8_serving(_Bench(), _report)

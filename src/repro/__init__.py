@@ -16,25 +16,24 @@ Python over a simulated substrate:
 * :mod:`repro.data` — synthetic Zipf corpus and sharded dataloaders;
 * :mod:`repro.perf` — analytic per-step time/FLOPS model up to 37 M cores;
 * :mod:`repro.resilience` — stochastic fault models, a recovery
-  supervisor with backoff, and elastic shrink-and-reshard restarts.
+  supervisor with backoff, and elastic shrink-and-reshard restarts;
+* :mod:`repro.serve` — KV-cached continuous-batching inference on EP ranks.
+
+The *supported* public surface is the curated facade :mod:`repro.api`;
+import entry points from there. The historical root-level re-exports below
+still resolve, but lazily and with a :class:`DeprecationWarning` naming
+the facade path.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-__version__ = "1.1.0"
+import warnings
 
-from repro.layout import ParallelLayout
-from repro.resilience import (
-    ElasticRunConfig,
-    ElasticRunResult,
-    Supervisor,
-    run_elastic_training,
-)
-from repro.simmpi import FaultModel, FaultPlan, FlakyLink
+__version__ = "1.2.0"
 
-__all__ = [
-    "__version__",
+#: Root conveniences kept alive as deprecation shims -> repro.api.
+_DEPRECATED_ROOT_EXPORTS = (
     "ParallelLayout",
     "ElasticRunConfig",
     "ElasticRunResult",
@@ -43,4 +42,24 @@ __all__ = [
     "FlakyLink",
     "Supervisor",
     "run_elastic_training",
-]
+)
+
+__all__ = ["__version__", *_DEPRECATED_ROOT_EXPORTS]
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_ROOT_EXPORTS:
+        warnings.warn(
+            f"importing {name!r} from the 'repro' root is deprecated; "
+            f"use 'from repro.api import {name}'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

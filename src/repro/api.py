@@ -1,0 +1,111 @@
+"""The supported public surface of :mod:`repro`, in one place.
+
+``repro.api`` is the curated facade: everything a user script needs to
+build models, launch measured training (plain / elastic) or serving runs,
+and log the results — re-exported from its canonical home with an explicit
+``__all__``. Importing this module is guaranteed warning-free (CI enforces
+it); the historical root-level conveniences (``repro.FaultModel`` etc.)
+still resolve but emit a :class:`DeprecationWarning` naming the path here.
+
+Deep imports from the implementing subpackages keep working and stay the
+right choice for internals (e.g. :class:`repro.parallel.ep.DistributedMoELayer`);
+this module only promises the *stable* entry points::
+
+    from repro.api import ServeConfig, run_serving, tiny_config
+    result = run_serving(ServeConfig(model=tiny_config(), ep_size=4))
+"""
+
+from __future__ import annotations
+
+# Models and configuration -------------------------------------------------
+from repro.models import (
+    BRAIN_SCALE_CONFIGS,
+    ModelConfig,
+    MoELanguageModel,
+    build_model,
+    generate,
+    small_config,
+    tiny_config,
+)
+
+# Distributed training: strategy registry + measured runner ----------------
+from repro.layout import ParallelLayout
+from repro.parallel import (
+    TrainingRunConfig,
+    TrainingRunResult,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    run_distributed_training,
+)
+
+# Elastic fault-tolerant training ------------------------------------------
+from repro.resilience import (
+    ElasticRunConfig,
+    ElasticRunResult,
+    Supervisor,
+    run_elastic_training,
+)
+
+# Serving: KV cache + continuous batching on EP ranks ----------------------
+from repro.serve import (
+    ContinuousBatchScheduler,
+    KVCache,
+    Request,
+    ServeConfig,
+    ServeResult,
+    run_sequential_baseline,
+    run_serving,
+)
+
+# Simulated substrate -------------------------------------------------------
+from repro.hardware import sunway_machine
+from repro.network import sunway_network
+from repro.simmpi import FaultModel, FaultPlan, FlakyLink, RunContext, run_spmd
+
+# Metrics -------------------------------------------------------------------
+from repro.train.metrics import LatencyStats, MetricsLogger, read_jsonl
+
+__all__ = [
+    # models / configs
+    "BRAIN_SCALE_CONFIGS",
+    "ModelConfig",
+    "MoELanguageModel",
+    "build_model",
+    "generate",
+    "small_config",
+    "tiny_config",
+    # training
+    "ParallelLayout",
+    "TrainingRunConfig",
+    "TrainingRunResult",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "run_distributed_training",
+    # elastic
+    "ElasticRunConfig",
+    "ElasticRunResult",
+    "Supervisor",
+    "run_elastic_training",
+    # serving
+    "ContinuousBatchScheduler",
+    "KVCache",
+    "Request",
+    "ServeConfig",
+    "ServeResult",
+    "run_sequential_baseline",
+    "run_serving",
+    # substrate
+    "FaultModel",
+    "FaultPlan",
+    "FlakyLink",
+    "RunContext",
+    "run_spmd",
+    "sunway_machine",
+    "sunway_network",
+    # metrics
+    "LatencyStats",
+    "MetricsLogger",
+    "read_jsonl",
+]

@@ -9,6 +9,8 @@ Commands
 ``resilient``   supervised fault-tolerant training: stochastic faults
                 (``--mtbf``, ``--dead-node``, ``--straggler``), capped
                 backoff, and elastic shrink-and-reshard restarts
+``serve``       KV-cached continuous-batching inference over expert-
+                parallel ranks (``--requests/--arrival-rate/--ep/--slo-ms``)
 ``project``     brain-scale performance/memory projection
 ``configs``     print the model configuration table
 
@@ -145,6 +147,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL metrics file (losses + lifecycle events)")
     p_res.add_argument("--trace", default=None, metavar="OUT_JSON",
                        help="write a Chrome-tracing JSON of the session")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="KV-cached continuous-batching inference on simulated EP ranks",
+    )
+    p_srv.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
+    p_srv.add_argument("--ep", type=int, default=4,
+                       help="expert-parallel world size")
+    p_srv.add_argument("--requests", type=int, default=16)
+    p_srv.add_argument("--arrival-rate", type=float, default=None,
+                       help="requests per *virtual* second (Poisson); "
+                            "default: all arrive at t=0")
+    p_srv.add_argument("--slo-ms", type=float, default=None,
+                       help="per-request completion deadline in virtual "
+                            "milliseconds (expired requests are evicted)")
+    p_srv.add_argument("--prompt-len", type=int, default=8)
+    p_srv.add_argument("--prompt-len-max", type=int, default=None,
+                       help="ragged prompts in [--prompt-len, this]")
+    p_srv.add_argument("--max-new", type=int, default=16)
+    p_srv.add_argument("--batch", type=int, default=8,
+                       help="max concurrently active requests per rank")
+    p_srv.add_argument("--expert-capacity", type=int, default=None,
+                       help="absolute per-expert rows per step "
+                            "(inference-side capacity; drops overflow)")
+    p_srv.add_argument("--alltoall", choices=["flat", "hierarchical"],
+                       default=None)
+    p_srv.add_argument("--supernode", type=int, default=256)
+    p_srv.add_argument("--sample", action="store_true",
+                       help="sample instead of greedy decoding")
+    p_srv.add_argument("--baseline", action="store_true",
+                       help="also run the sequential uncached generate() "
+                            "baseline and report the speedup")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--metrics", default=None,
+                       help="JSONL/CSV metrics file (summary + per-request "
+                            "records on JSONL)")
+    p_srv.add_argument("--trace", default=None, metavar="OUT_JSON",
+                       help="write a Chrome-tracing JSON of the run")
 
     p_proj = sub.add_parser("project", help="brain-scale projection")
     p_proj.add_argument("--model", choices=sorted(BRAIN_SCALE_CONFIGS), default="14.5T")
@@ -391,6 +431,76 @@ def _cmd_resilient(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_sequential_baseline, run_serving
+
+    cfg = _CONFIGS[args.config]()
+    if cfg.num_experts % args.ep != 0:
+        cfg = cfg.scaled(num_experts=args.ep * max(cfg.num_experts // args.ep, 1))
+    serve_cfg = ServeConfig(
+        model=cfg,
+        ep_size=args.ep,
+        num_requests=args.requests,
+        arrival_rate=args.arrival_rate,
+        prompt_len=args.prompt_len,
+        prompt_len_max=args.prompt_len_max,
+        max_new_tokens=args.max_new,
+        max_batch_size=args.batch,
+        slo_ms=args.slo_ms,
+        greedy=not args.sample,
+        seed=args.seed,
+        expert_capacity=args.expert_capacity,
+        alltoall_algorithm=args.alltoall,
+        supernode_size=args.supernode,
+        trace=args.trace is not None,
+    )
+    arrival = ("all at t=0" if args.arrival_rate is None
+               else f"Poisson {args.arrival_rate:g} req/s")
+    print(f"serving {args.requests} requests on {args.ep} EP ranks "
+          f"(batch={args.batch}, {arrival}"
+          + (f", slo={args.slo_ms:g}ms" if args.slo_ms is not None else "")
+          + ")")
+    result = run_serving(serve_cfg)
+
+    print(f"completed / evicted: {result.completed} / {result.evicted}")
+    print(f"decode tokens      : {result.decode_tokens}")
+    print(f"makespan           : {format_time(result.simulated_time)}")
+    print(f"throughput         : {result.throughput:,.0f} tok/s (virtual)")
+    if result.ttft.count:
+        print(f"ttft               : p50 {format_time(result.ttft.percentile(50))}"
+              f"  p95 {format_time(result.ttft.percentile(95))}")
+    if result.token_latency.count:
+        print(f"token latency      : "
+              f"p50 {format_time(result.token_latency.percentile(50))}"
+              f"  p95 {format_time(result.token_latency.percentile(95))}")
+    if result.context is not None:
+        for phase, seconds in result.context.phase_seconds.items():
+            print(f"  phase {phase:<10}: {format_time(seconds)}")
+
+    baseline = None
+    if args.baseline:
+        baseline = run_sequential_baseline(serve_cfg)
+        speedup = (result.throughput / baseline.throughput
+                   if baseline.throughput > 0 else float("inf"))
+        print(f"sequential baseline: {baseline.throughput:,.0f} tok/s in "
+              f"{format_time(baseline.simulated_time)} "
+              f"-> speedup {speedup:.2f}x")
+
+    if args.metrics:
+        with MetricsLogger(args.metrics) as logger:
+            logger.log({"record": "summary", **result.metrics_record()})
+            if baseline is not None:
+                logger.log({"record": "baseline", **baseline.metrics_record()})
+            if logger.path.suffix == ".jsonl":
+                for rec in result.requests:
+                    logger.log({"record": "request", **rec})
+        print(f"metrics            : {args.metrics}")
+    if args.trace:
+        path = result.context.write_chrome_trace(args.trace)
+        print(f"chrome trace       : {path}")
+    return 0
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.hardware import SUNWAY_NODE, sunway_machine
     from repro.network import sunway_network
@@ -443,6 +553,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "distributed": _cmd_distributed,
         "3d": _cmd_3d,
         "resilient": _cmd_resilient,
+        "serve": _cmd_serve,
         "project": _cmd_project,
         "configs": _cmd_configs,
     }

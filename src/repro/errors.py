@@ -62,5 +62,9 @@ class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or mismatches the model."""
 
 
+class CacheOverflow(ReproError):
+    """A KV-cache write would exceed the cache's token capacity."""
+
+
 class PartitionError(ReproError):
     """A dataset or parameter partition request cannot be satisfied."""

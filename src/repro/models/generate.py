@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.models.transformer import MoELanguageModel
+from repro.serve.kvcache import KVCache
 from repro.tensor import no_grad
 
 __all__ = ["generate"]
@@ -19,6 +20,7 @@ def generate(
     top_k: int | None = None,
     rng: np.random.Generator | None = None,
     greedy: bool = False,
+    use_cache: bool = True,
 ) -> np.ndarray:
     """Sample a continuation of ``prompt`` token by token.
 
@@ -35,10 +37,17 @@ def generate(
     top_k:
         Keep only the k most likely tokens before sampling.
     rng:
-        Generator for sampling (defaults to a fresh seed-0 generator).
+        Generator for sampling (defaults to a fresh seed-0 generator when
+        sampling; unused — and not constructed — when ``greedy``).
     greedy:
         Take the argmax instead of sampling (ignores temperature/top_k
         randomness but still applies the top_k mask for consistency).
+    use_cache:
+        Decode through a :class:`~repro.serve.kvcache.KVCache`: prefill
+        the prompt once, then O(1) work per token. Past ``max_seq_len``
+        the sliding window re-prefills (positions shift), matching the
+        uncached path's numerics exactly. ``False`` re-runs the full
+        window every token (the sequential baseline).
 
     Returns
     -------
@@ -48,6 +57,10 @@ def generate(
     prompt = np.asarray(prompt)
     if prompt.ndim != 2 or prompt.shape[1] < 1:
         raise ConfigError(f"prompt must be (B, T>=1), got shape {prompt.shape}")
+    if not np.issubdtype(prompt.dtype, np.integer):
+        raise ConfigError(
+            f"prompt must be an integer token array, got dtype {prompt.dtype}"
+        )
     if max_new_tokens < 1:
         raise ConfigError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
     if temperature <= 0:
@@ -55,16 +68,32 @@ def generate(
     vocab = model.config.vocab_size
     if top_k is not None and not 1 <= top_k <= vocab:
         raise ConfigError(f"top_k must be in [1, {vocab}], got {top_k}")
-    rng = rng or np.random.default_rng(0)
+    if not greedy and rng is None:
+        rng = np.random.default_rng(0)
 
     was_training = model.training
     model.eval()
     tokens = prompt.astype(np.int64)
+    window_len = model.config.max_seq_len
+    cache = (
+        KVCache.for_model(model, batch_size=tokens.shape[0], capacity=window_len)
+        if use_cache
+        else None
+    )
     try:
         with no_grad():
             for _ in range(max_new_tokens):
-                window = tokens[:, -model.config.max_seq_len:]
-                logits = model(window).data[:, -1, :]  # (B, V)
+                window = tokens[:, -window_len:]
+                if cache is None:
+                    logits = model(window).data[:, -1, :]  # (B, V)
+                elif cache.max_length == window.shape[1] - 1:
+                    # Steady state: only the newest token is uncached.
+                    logits = model(tokens[:, -1:], kv_cache=cache).data[:, -1, :]
+                else:
+                    # First step — or the window slid past max_seq_len, so
+                    # every cached position's embedding changed: re-prefill.
+                    cache.reset()
+                    logits = model(window, kv_cache=cache).data[:, -1, :]
                 logits = logits / temperature
                 if top_k is not None and top_k < vocab:
                     kth = np.partition(logits, -top_k, axis=-1)[:, -top_k][:, None]

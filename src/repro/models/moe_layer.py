@@ -16,7 +16,7 @@ from repro.models.layers import MLP, Linear
 from repro.models.module import Module
 from repro.moe.balance import load_balance_loss, router_z_loss
 from repro.moe.capacity import apply_capacity
-from repro.moe.dispatch import build_dispatch
+from repro.moe.dispatch import build_dispatch, inference_keep_mask
 from repro.moe.gates import Gate, make_gate
 from repro.tensor import Tensor
 from repro.tensor import ops as T
@@ -90,6 +90,10 @@ class MoELayer(Module):
         self.last_load: np.ndarray | None = None
         #: Fraction of (token, slot) pairs dropped by capacity last forward.
         self.last_drop_fraction: float = 0.0
+        #: Eval-only absolute per-expert slot bound (serving engines set
+        #: this; ``None`` disables it). See
+        #: :func:`repro.moe.dispatch.inference_keep_mask`.
+        self.inference_capacity: int | None = None
 
     def forward(self, x: Tensor) -> Tensor:
         orig_shape = x.shape
@@ -113,6 +117,12 @@ class MoELayer(Module):
         else:
             keep = None
             self.last_drop_fraction = 0.0
+        if not self.training and self.inference_capacity is not None:
+            icap = inference_keep_mask(
+                gate_out.indices, self.num_experts, self.inference_capacity
+            )
+            keep = icap if keep is None else keep & icap
+            self.last_drop_fraction = float(1.0 - keep.mean())
 
         plan = build_dispatch(gate_out.indices, self.num_experts, keep)
 

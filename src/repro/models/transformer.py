@@ -44,18 +44,20 @@ class TransformerBlock(Module):
         #: collectives must run exactly once per step.
         self.recompute = recompute
 
-    def _attn_sublayer(self, x: Tensor) -> Tensor:
-        return self.attn(self.ln_attn(x))
+    def _attn_sublayer(self, x: Tensor, kv=None, valid=None) -> Tensor:
+        return self.attn(self.ln_attn(x), kv=kv, valid=valid)
 
     def _ffn_sublayer(self, x: Tensor) -> Tensor:
         return self.ffn(self.ln_ffn(x))
 
-    def forward(self, x: Tensor) -> Tensor:
-        use_ckpt = self.recompute and self.training and self.drop is None
+    def forward(self, x: Tensor, kv=None, valid=None) -> Tensor:
+        use_ckpt = (
+            self.recompute and self.training and self.drop is None and kv is None
+        )
         if use_ckpt:
             h = checkpoint(self._attn_sublayer, x)
         else:
-            h = self._attn_sublayer(x)
+            h = self._attn_sublayer(x, kv=kv, valid=valid)
         if self.drop is not None:
             h = self.drop(h)
         x = x + h
@@ -142,24 +144,72 @@ class MoELanguageModel(Module):
     # Forward / loss
     # ------------------------------------------------------------------ #
 
-    def forward(self, tokens: np.ndarray) -> Tensor:
-        """Logits (B, T, V) for integer token ids (B, T)."""
+    def forward(
+        self,
+        tokens: np.ndarray,
+        kv_cache=None,
+        rows: np.ndarray | None = None,
+        valid: np.ndarray | None = None,
+    ) -> Tensor:
+        """Logits (B, T, V) for integer token ids (B, T).
+
+        With ``kv_cache`` (a :class:`~repro.serve.kvcache.KVCache`) the
+        input holds only the *new* tokens per row; attention reads cached
+        history, positions continue from each row's committed length, and
+        the cache is committed once after all blocks ran. ``rows`` maps
+        batch entries to cache rows (default 0..B-1) and ``valid[b]``
+        bounds the real (non-padding) tokens of row b — the incremental
+        path continuous batching uses for ragged prefill + decode.
+        """
         tokens = np.asarray(tokens)
         if tokens.ndim != 2:
             raise ConfigError(f"tokens must be (B, T), got shape {tokens.shape}")
         b, t = tokens.shape
-        if t > self.config.max_seq_len:
+        if kv_cache is None:
+            if t > self.config.max_seq_len:
+                raise ConfigError(
+                    f"sequence length {t} exceeds max_seq_len={self.config.max_seq_len}"
+                )
+            pos = np.arange(t)
+            x = self.tok_emb(tokens) + self.pos_emb(pos)
+            if self.emb_drop is not None:
+                x = self.emb_drop(x)
+            for block in self.blocks:
+                x = block(x)
+            x = self.ln_f(x)
+            return self.lm_head(x)
+
+        rows = np.arange(b) if rows is None else np.asarray(rows, dtype=np.int64)
+        if rows.shape != (b,):
+            raise ConfigError(f"rows must be (B,)={b}, got shape {rows.shape}")
+        if valid is None:
+            valid = np.full(b, t, dtype=np.int64)
+        else:
+            valid = np.asarray(valid, dtype=np.int64)
+            if valid.shape != (b,) or (valid < 1).any() or (valid > t).any():
+                raise ConfigError(f"valid must be (B,) in [1, {t}], got {valid}")
+        ctx = kv_cache.lengths[rows]
+        if int((ctx + valid).max()) > self.config.max_seq_len:
             raise ConfigError(
-                f"sequence length {t} exceeds max_seq_len={self.config.max_seq_len}"
+                f"cached decode to length {int((ctx + valid).max())} exceeds "
+                f"max_seq_len={self.config.max_seq_len}; reset() the row and "
+                "re-prefill a window"
             )
-        pos = np.arange(t)
+        # Positions continue where each row's cache left off; padding
+        # positions are clamped into the embedding table (their outputs
+        # are discarded by the caller).
+        pos = np.minimum(
+            ctx[:, None] + np.arange(t)[None, :], self.config.max_seq_len - 1
+        )
         x = self.tok_emb(tokens) + self.pos_emb(pos)
         if self.emb_drop is not None:
             x = self.emb_drop(x)
-        for block in self.blocks:
-            x = block(x)
+        for i, block in enumerate(self.blocks):
+            x = block(x, kv=kv_cache.layer(i, rows), valid=valid)
         x = self.ln_f(x)
-        return self.lm_head(x)
+        logits = self.lm_head(x)
+        kv_cache.commit(rows, valid)
+        return logits
 
     def moe_layers(self) -> list[MoELayer]:
         """All MoE FFN layers in depth order (local or distributed —

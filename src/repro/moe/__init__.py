@@ -3,7 +3,13 @@
 from repro.moe.analysis import expert_specialization, expert_usage_entropy, routing_entropy
 from repro.moe.balance import LoadStats, load_balance_loss, load_stats, router_z_loss
 from repro.moe.capacity import CapacityResult, apply_capacity, expert_capacity
-from repro.moe.dispatch import DispatchPlan, build_dispatch, experts_of_rank, owner_of_expert
+from repro.moe.dispatch import (
+    DispatchPlan,
+    build_dispatch,
+    experts_of_rank,
+    inference_keep_mask,
+    owner_of_expert,
+)
 from repro.moe.gates import (
     BalancedGate,
     Gate,
@@ -28,6 +34,7 @@ __all__ = [
     "DispatchPlan",
     "build_dispatch",
     "experts_of_rank",
+    "inference_keep_mask",
     "owner_of_expert",
     "BalancedGate",
     "Gate",

@@ -15,7 +15,13 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.utils.mathx import ceil_div
 
-__all__ = ["DispatchPlan", "build_dispatch", "owner_of_expert", "experts_of_rank"]
+__all__ = [
+    "DispatchPlan",
+    "build_dispatch",
+    "inference_keep_mask",
+    "owner_of_expert",
+    "experts_of_rank",
+]
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,46 @@ def build_dispatch(
         offsets=offsets,
         num_tokens=n,
     )
+
+
+def inference_keep_mask(
+    indices: np.ndarray, num_experts: int, max_per_expert: int
+) -> np.ndarray:
+    """Cap each expert at ``max_per_expert`` dispatched slots (absolute).
+
+    Training capacity (:func:`repro.moe.capacity.apply_capacity`) sizes
+    buffers relative to the batch; a serving engine instead bounds each
+    expert's *absolute* per-step work so one hot expert cannot stall a
+    decode iteration for every request in flight. Slots are kept in batch
+    order (earliest rows win — matching the stable dispatch sort), so the
+    mask composes with :func:`build_dispatch` deterministically. Returns an
+    (N, k) bool mask; dropped slots fall back to the residual path exactly
+    like capacity drops.
+    """
+    if indices.ndim != 2:
+        raise ConfigError(f"indices must be (N, k), got shape {indices.shape}")
+    if max_per_expert < 1:
+        raise ConfigError(
+            f"max_per_expert must be >= 1, got {max_per_expert}"
+        )
+    n, k = indices.shape
+    flat = indices.reshape(-1)
+    if flat.size and (flat.min() < 0 or flat.max() >= num_experts):
+        raise ConfigError(
+            f"expert index out of range [0, {num_experts}): "
+            f"[{flat.min()}, {flat.max()}]"
+        )
+    # Stable sort groups slots by expert while preserving batch order;
+    # each slot's rank within its expert group is its claim number.
+    order = np.argsort(flat, kind="stable")
+    sorted_experts = flat[order]
+    counts = np.bincount(sorted_experts, minlength=num_experts)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    claim = np.arange(flat.size) - offsets[sorted_experts]
+    keep_sorted = claim < max_per_expert
+    keep = np.empty(flat.size, dtype=bool)
+    keep[order] = keep_sorted
+    return keep.reshape(n, k)
 
 
 def owner_of_expert(expert: int, num_experts: int, num_ranks: int) -> int:

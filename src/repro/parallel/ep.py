@@ -23,7 +23,7 @@ from repro.models.layers import MLP, Linear
 from repro.models.module import Module
 from repro.moe.balance import load_balance_loss, router_z_loss
 from repro.moe.capacity import apply_capacity
-from repro.moe.dispatch import build_dispatch, experts_of_rank
+from repro.moe.dispatch import build_dispatch, experts_of_rank, inference_keep_mask
 from repro.moe.gates import Gate, make_gate
 from repro.parallel.collective_ops import alltoall_rows
 from repro.simmpi import Comm
@@ -122,6 +122,9 @@ class DistributedMoELayer(Module):
         self.last_drop_fraction: float = 0.0
         #: Rows this rank's experts processed in the last forward.
         self.last_local_rows: int = 0
+        #: Eval-only absolute per-expert slot bound over *this rank's*
+        #: tokens (serving engines set this; ``None`` disables it).
+        self.inference_capacity: int | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -152,6 +155,12 @@ class DistributedMoELayer(Module):
         else:
             keep = None
             self.last_drop_fraction = 0.0
+        if not self.training and self.inference_capacity is not None:
+            icap = inference_keep_mask(
+                gate_out.indices, self.num_experts, self.inference_capacity
+            )
+            keep = icap if keep is None else keep & icap
+            self.last_drop_fraction = float(1.0 - keep.mean())
 
         plan = build_dispatch(gate_out.indices, self.num_experts, keep)
         xs = gather_rows(x, plan.token_idx)  # (M, D), global-expert-sorted

@@ -1,0 +1,40 @@
+"""Serving subsystem: KV cache, continuous batching, EP decode engine.
+
+Inference stresses exactly the machinery BaGuaLu contributes for training
+— expert load balance and the alltoall data path — so the engine decodes
+through :class:`~repro.parallel.ep.DistributedMoELayer` on simulated EP
+ranks, with throughput/latency measured on the same virtual clock and
+:class:`~repro.simmpi.RunContext` spine as training runs.
+
+The engine module pulls in :mod:`repro.parallel`; it is imported lazily so
+that :mod:`repro.models.generate` can depend on the cache without an
+import cycle.
+"""
+
+from repro.serve.kvcache import KVCache, KVLayerView
+from repro.serve.scheduler import ContinuousBatchScheduler, Request
+
+_ENGINE_EXPORTS = (
+    "DecodeTimer",
+    "ServeConfig",
+    "ServeResult",
+    "build_requests",
+    "run_sequential_baseline",
+    "run_serving",
+)
+
+__all__ = [
+    "KVCache",
+    "KVLayerView",
+    "ContinuousBatchScheduler",
+    "Request",
+    *_ENGINE_EXPORTS,
+]
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        from repro.serve import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")

@@ -1,0 +1,494 @@
+"""Expert-parallel decode engine: continuous batching on simulated ranks.
+
+Each EP rank owns a shard of every MoE layer's experts (the training
+layout) and a shard of the request stream (round-robin). One engine
+iteration runs a *single* mixed forward per rank — freshly admitted
+requests contribute their whole prompt (prefill) while running requests
+contribute one token (decode), padded into a ragged batch over the shared
+:class:`~repro.serve.kvcache.KVCache`. Because collectives come only from
+:class:`~repro.parallel.ep.DistributedMoELayer`, every rank executes an
+identical collective sequence per iteration regardless of how many
+requests it has in flight (idle ranks run a one-token dummy forward), so
+the SPMD program never deadlocks.
+
+Time is the simmpi virtual clock: alltoall/allreduce cost comes from the
+network model, dense/expert compute from :class:`DecodeTimer` (the
+forward-only sibling of :class:`~repro.perf.stepmodel.ComputeTimer`), and
+arrivals/SLOs/latency histograms all live on the same axis, measured
+through the :class:`~repro.simmpi.RunContext` spine training runs use.
+
+The sequential baseline (:func:`run_sequential_baseline`) serves the same
+workload FIFO depth-1 per rank with full uncached re-forwards per token —
+exactly what looping :func:`repro.models.generate` (``use_cache=False``)
+over the requests would do on the same EP world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hardware.specs import MachineSpec, sunway_machine
+from repro.models.configs import ModelConfig
+from repro.models.transformer import MoELanguageModel
+from repro.network import sunway_network
+from repro.parallel.ep import DistributedMoELayer
+from repro.perf.flops import forward_flops_per_token
+from repro.serve.kvcache import KVCache
+from repro.serve.scheduler import ContinuousBatchScheduler, Request
+from repro.simmpi import MIN, Comm, run_spmd
+from repro.tensor import no_grad
+from repro.train.metrics import LatencyStats
+from repro.utils.seeding import derive_seed
+
+__all__ = [
+    "DecodeTimer",
+    "ServeConfig",
+    "ServeResult",
+    "build_requests",
+    "run_sequential_baseline",
+    "run_serving",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one serving run needs (mirrors ``TrainingRunConfig``).
+
+    ``arrival_rate`` is requests per *virtual* second (None: all requests
+    arrive at t=0); ``slo_ms`` is a per-request completion deadline in
+    virtual milliseconds (None: no eviction). ``batching`` selects the
+    engine: ``"continuous"`` (KV-cached, join-mid-flight slots) or
+    ``"sequential"`` (FIFO depth-1 per rank; with ``use_cache=False`` this
+    is the uncached ``generate()`` baseline).
+    """
+
+    model: ModelConfig
+    ep_size: int = 1
+    num_requests: int = 16
+    arrival_rate: float | None = None
+    prompt_len: int = 8
+    prompt_len_max: int | None = None
+    max_new_tokens: int = 16
+    max_batch_size: int = 8
+    slo_ms: float | None = None
+    batching: str = "continuous"
+    use_cache: bool = True
+    greedy: bool = True
+    temperature: float = 1.0
+    seed: int = 0
+    expert_capacity: int | None = None
+    alltoall_algorithm: str | None = None
+    kv_block: int = 8
+    model_compute_time: bool = True
+    supernode_size: int = 256
+    timeout: float = 600.0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ep_size < 1:
+            raise ConfigError(f"ep_size must be >= 1, got {self.ep_size}")
+        if self.model.num_experts % self.ep_size != 0:
+            raise ConfigError(
+                f"ep_size={self.ep_size} must divide "
+                f"num_experts={self.model.num_experts}"
+            )
+        if self.num_requests < 1:
+            raise ConfigError(
+                f"num_requests must be >= 1, got {self.num_requests}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.batching not in ("continuous", "sequential"):
+            raise ConfigError(
+                f"batching must be 'continuous' or 'sequential', "
+                f"got {self.batching!r}"
+            )
+        if self.batching == "continuous" and not self.use_cache:
+            raise ConfigError(
+                "continuous batching requires use_cache=True (ragged "
+                "decode without a KV cache would re-prefill every row "
+                "every iteration)"
+            )
+        if self.prompt_len < 1 or self.max_new_tokens < 1:
+            raise ConfigError("prompt_len and max_new_tokens must be >= 1")
+        pmax = self.prompt_len_max if self.prompt_len_max is not None else self.prompt_len
+        if pmax < self.prompt_len:
+            raise ConfigError(
+                f"prompt_len_max={pmax} must be >= prompt_len={self.prompt_len}"
+            )
+        if pmax + self.max_new_tokens > self.model.max_seq_len:
+            raise ConfigError(
+                f"prompt ({pmax}) + max_new_tokens ({self.max_new_tokens}) "
+                f"exceeds max_seq_len={self.model.max_seq_len}; cached rows "
+                "never roll over so requests must fit the window"
+            )
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigError(
+                f"arrival_rate must be > 0 req/s, got {self.arrival_rate}"
+            )
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ConfigError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if self.temperature <= 0:
+            raise ConfigError(f"temperature must be > 0, got {self.temperature}")
+
+
+@dataclass
+class ServeResult:
+    """Aggregated outcome of a serving run.
+
+    ``throughput`` is decoded tokens per virtual second of makespan —
+    prefill time included, since a serving system pays it. ``requests``
+    holds one flat record per request (see ``Request.record``).
+    """
+
+    config: ServeConfig
+    completed: int
+    evicted: int
+    decode_tokens: int
+    simulated_time: float
+    ttft: LatencyStats
+    token_latency: LatencyStats
+    requests: list[dict] = field(default_factory=list)
+    clocks: list[float] = field(default_factory=list)
+    context: Any = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Decoded tokens per virtual second."""
+        if self.simulated_time <= 0:
+            return 0.0
+        return self.decode_tokens / self.simulated_time
+
+    def metrics_record(self) -> dict[str, Any]:
+        """One flat summary record for :class:`MetricsLogger`."""
+        record = {
+            "batching": self.config.batching,
+            "use_cache": self.config.use_cache,
+            "ep_size": self.config.ep_size,
+            "num_requests": self.config.num_requests,
+            "completed": self.completed,
+            "evicted": self.evicted,
+            "decode_tokens": self.decode_tokens,
+            "simulated_time": self.simulated_time,
+            "throughput_tok_s": self.throughput,
+        }
+        record.update(self.ttft.summary(prefix="ttft_"))
+        record.update(self.token_latency.summary(prefix="token_"))
+        return record
+
+
+class DecodeTimer:
+    """Forward-only modelled compute time for serving iterations.
+
+    The training :class:`~repro.perf.stepmodel.ComputeTimer` charges
+    forward+backward at a fixed sequence length; decode needs forward-only
+    cost at *per-row* context lengths (attention over ``ctx + i`` cached
+    keys for the i-th new token). Derived from the same
+    :func:`~repro.perf.flops.forward_flops_per_token` terms, so measured
+    serving and training curves share one cost model.
+    """
+
+    def __init__(self, config: ModelConfig, machine: MachineSpec):
+        self.config = config
+        self.machine = machine
+        self._node_flops = (
+            machine.node.flops(config.dtype) * machine.compute_efficiency
+        )
+        expert_fwd = (
+            config.top_k * 2.0 * config.ffn_expert_params * config.num_moe_layers
+        )
+        # Linear dense FLOPs per token (everything except expert MLPs and
+        # the attention-score matmuls, which depend on context length).
+        self._base = forward_flops_per_token(config, 1) - expert_fwd - (
+            config.n_layers * 4.0 * config.d_model
+        )
+        #: Attention-score FLOPs per (token, attended position) pair.
+        self._quad = config.n_layers * 4.0 * config.d_model
+        self._expert_fwd_per_row = 2.0 * config.ffn_expert_params
+
+    def dense_time(self, ctx: np.ndarray, valid: np.ndarray) -> float:
+        """Dense forward time for a ragged batch.
+
+        Row b feeds ``valid[b]`` new tokens on top of ``ctx[b]`` cached
+        ones; its i-th token attends over ``ctx[b] + i + 1`` positions.
+        With ``ctx=0`` this is exactly a full prefill/uncached forward.
+        """
+        v = np.asarray(valid, dtype=np.float64)
+        c = np.asarray(ctx, dtype=np.float64)
+        flops = float(
+            (v * self._base + self._quad * (c * v + v * (v + 1) / 2.0)).sum()
+        )
+        return flops / self._node_flops
+
+    def expert_time(self, rows: int) -> float:
+        """Forward time for ``rows`` routed through one expert shard."""
+        return rows * self._expert_fwd_per_row / self._node_flops
+
+
+def build_requests(cfg: ServeConfig) -> list[Request]:
+    """Deterministic synthetic workload from the config seed.
+
+    Poisson arrivals (exponential interarrivals at ``arrival_rate``),
+    ragged prompt lengths in [prompt_len, prompt_len_max], uniform random
+    prompt tokens. Identical on every rank, so request sharding needs no
+    communication.
+    """
+    rng = np.random.default_rng(derive_seed(cfg.seed, "serve-workload"))
+    n = cfg.num_requests
+    if cfg.arrival_rate is None:
+        arrivals = np.zeros(n)
+    else:
+        arrivals = np.cumsum(rng.exponential(1.0 / cfg.arrival_rate, size=n))
+    pmax = cfg.prompt_len_max if cfg.prompt_len_max is not None else cfg.prompt_len
+    lens = rng.integers(cfg.prompt_len, pmax + 1, size=n)
+    slo = None if cfg.slo_ms is None else cfg.slo_ms / 1e3
+    return [
+        Request(
+            rid=i,
+            prompt=rng.integers(0, cfg.model.vocab_size, size=int(lens[i])),
+            max_new_tokens=cfg.max_new_tokens,
+            arrival=float(arrivals[i]),
+            slo=slo,
+        )
+        for i in range(n)
+    ]
+
+
+def _build_serve_model(
+    cfg: ServeConfig, comm: Comm, timer: DecodeTimer | None
+) -> MoELanguageModel:
+    """EP-sharded model in eval mode (mirrors ``build_moda_model``)."""
+    model_cfg = cfg.model
+
+    def compute_hook(rows: int) -> None:
+        if timer is not None:
+            comm.advance(timer.expert_time(rows))
+
+    def moe_factory(layer_idx: int, rng: np.random.Generator) -> DistributedMoELayer:
+        return DistributedMoELayer(
+            model_cfg.d_model,
+            model_cfg.d_ff,
+            model_cfg.num_experts,
+            ep_comm=comm,
+            shared_rng=rng,
+            seed=cfg.seed,
+            layer_id=layer_idx,
+            gate=model_cfg.gate,
+            top_k=model_cfg.top_k,
+            capacity_factor=model_cfg.capacity_factor,
+            aux_weight=model_cfg.aux_weight,
+            z_weight=model_cfg.z_weight,
+            alltoall_algorithm=cfg.alltoall_algorithm,
+            dtype=model_cfg.dtype,
+            compute_hook=compute_hook,
+        )
+
+    model = MoELanguageModel(model_cfg, seed=cfg.seed, moe_factory=moe_factory)
+    model.eval()
+    if cfg.expert_capacity is not None:
+        for layer in model.moe_layers():
+            layer.inference_capacity = cfg.expert_capacity
+    return model
+
+
+def _sample_token(
+    logits: np.ndarray, cfg: ServeConfig, rng: np.random.Generator | None
+) -> int:
+    logits = logits / cfg.temperature
+    if cfg.greedy:
+        return int(logits.argmax())
+    shifted = logits - logits.max()
+    probs = np.exp(shifted)
+    probs /= probs.sum()
+    return int(rng.choice(probs.size, p=probs))
+
+
+def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> dict:
+    """The SPMD rank program: one scheduler + model + cache per rank."""
+    timer = (
+        DecodeTimer(cfg.model, machine)
+        if machine is not None and cfg.model_compute_time
+        else None
+    )
+    model = _build_serve_model(cfg, comm, timer)
+    sched = ContinuousBatchScheduler(
+        cfg.max_batch_size if cfg.batching == "continuous" else 1
+    )
+    for i, req in enumerate(build_requests(cfg)):
+        if i % comm.size == comm.rank:
+            sched.submit(req)
+    cache = (
+        KVCache.for_model(
+            model,
+            batch_size=sched.max_batch_size,
+            capacity=cfg.model.max_seq_len,
+            block_size=cfg.kv_block,
+        )
+        if cfg.use_cache
+        else None
+    )
+    samplers: dict[int, np.random.Generator] = {}
+    token_lat: list[float] = []
+    context = comm.context
+    dummy = np.zeros((1, 1), dtype=np.int64)
+
+    def decode_step() -> None:
+        """One mixed prefill+decode forward over the active slots."""
+        now = comm.clock
+        for req in sched.evict_expired(now):
+            if context is not None and comm.rank == 0:
+                context.record_event("evict", t=now, rid=req.rid)
+        admitted = sched.admit(now)
+        if cache is not None:
+            for req in admitted:
+                cache.reset([req.slot])
+        t0 = comm.clock
+        if not sched.active:
+            # Idle rank: dummy uncached forward with the same collective
+            # sequence, so the SPMD program stays in lockstep.
+            model(dummy)
+            if timer is not None:
+                comm.advance(timer.dense_time(np.zeros(1), np.ones(1)))
+            return
+        if cfg.use_cache:
+            feeds = [
+                req.prompt if req in admitted else np.array([req.last_token])
+                for req in sched.active
+            ]
+            valid = np.array([f.size for f in feeds], dtype=np.int64)
+            rows = np.array([req.slot for req in sched.active], dtype=np.int64)
+            toks = np.zeros((len(feeds), int(valid.max())), dtype=np.int64)
+            for i, f in enumerate(feeds):
+                toks[i, : f.size] = f
+            ctx = cache.lengths[rows].copy()
+            logits = model(toks, kv_cache=cache, rows=rows, valid=valid).data
+            last = logits[np.arange(len(feeds)), valid - 1]
+        else:
+            # Sequential baseline: full uncached re-forward of the window.
+            req = sched.active[0]
+            window = np.concatenate([req.prompt, np.array(req.generated, dtype=np.int64)])
+            window = window[-cfg.model.max_seq_len:]
+            ctx = np.zeros(1, dtype=np.int64)
+            valid = np.array([window.size], dtype=np.int64)
+            last = model(window[None, :]).data[:, -1, :]
+        if timer is not None:
+            comm.advance(timer.dense_time(ctx, valid))
+        dt = comm.clock - t0
+        if context is not None and comm.rank == 0:
+            context.add_phase("prefill" if admitted else "decode", dt)
+        now = comm.clock
+        for i, req in enumerate(list(sched.active)):
+            if not cfg.greedy and req.rid not in samplers:
+                samplers[req.rid] = np.random.default_rng(
+                    derive_seed(cfg.seed, "sample", req.rid)
+                )
+            tok = _sample_token(last[i], cfg, samplers.get(req.rid))
+            req.generated.append(tok)
+            if req.t_first_token is None:
+                req.t_first_token = now
+            token_lat.append(dt)
+            if len(req.generated) >= req.max_new_tokens:
+                sched.finish(req, now)
+                if context is not None and comm.rank == 0:
+                    context.record_event("finish", t=now, rid=req.rid)
+
+    with no_grad():
+        while True:
+            local_done = 0.0 if sched.has_work else 1.0
+            if comm.allreduce(local_done, op=MIN) >= 1.0:
+                break
+            # Nothing in flight and the next arrival is in the future:
+            # fast-forward this rank's clock to it instead of spinning.
+            if not sched.active and sched.next_arrival > comm.clock:
+                if np.isfinite(sched.next_arrival):
+                    comm.advance(sched.next_arrival - comm.clock)
+            decode_step()
+
+    return {
+        "rank": comm.rank,
+        "records": sorted(
+            (r.record() for r in sched.finished), key=lambda r: r["rid"]
+        ),
+        "token_lat": token_lat,
+    }
+
+
+def run_serving(
+    cfg: ServeConfig,
+    network: Any | None = None,
+    machine: MachineSpec | None = None,
+) -> ServeResult:
+    """Serve the synthetic workload on ``ep_size`` simulated ranks.
+
+    Requests are sharded round-robin over ranks; each rank decodes its
+    share through the EP-sharded model (every rank participates in every
+    alltoall). Returns aggregated counts, latency histograms (TTFT and
+    per-decoded-token, in virtual seconds), per-request records, and the
+    merged :class:`~repro.simmpi.RunContext`.
+    """
+    if network is None:
+        network = sunway_network(cfg.ep_size, supernode_size=cfg.supernode_size)
+    if machine is None and cfg.model_compute_time:
+        machine = sunway_machine(num_nodes=max(cfg.ep_size, 1))
+    spmd = run_spmd(
+        _serve_rank,
+        cfg.ep_size,
+        network=network,
+        seed=cfg.seed,
+        timeout=cfg.timeout,
+        trace=cfg.trace,
+        args=(cfg, machine),
+    )
+    records: list[dict] = []
+    ttft = LatencyStats("ttft")
+    token_latency = LatencyStats("token")
+    completed = evicted = decode_tokens = 0
+    for ret in spmd.returns:
+        records.extend(ret["records"])
+        token_latency.extend(ret["token_lat"])
+        for rec in ret["records"]:
+            decode_tokens += rec["generated"]
+            if rec["state"] == "done":
+                completed += 1
+                if rec["ttft"] is not None:
+                    ttft.add(rec["ttft"])
+            elif rec["state"] == "evicted":
+                evicted += 1
+    records.sort(key=lambda r: r["rid"])
+    return ServeResult(
+        config=cfg,
+        completed=completed,
+        evicted=evicted,
+        decode_tokens=decode_tokens,
+        simulated_time=spmd.simulated_time,
+        ttft=ttft,
+        token_latency=token_latency,
+        requests=records,
+        clocks=list(spmd.clocks),
+        context=spmd.context,
+        meta={"ep_size": cfg.ep_size, "batching": cfg.batching},
+    )
+
+
+def run_sequential_baseline(
+    cfg: ServeConfig,
+    network: Any | None = None,
+    machine: MachineSpec | None = None,
+) -> ServeResult:
+    """The uncached ``generate()`` baseline on the same world/workload.
+
+    Identical model sharding, network, cost model, and request stream —
+    only the serving policy changes: FIFO depth-1 per rank, no KV cache,
+    full window re-forward per decoded token.
+    """
+    base = replace(
+        cfg, batching="sequential", use_cache=False, max_batch_size=1
+    )
+    return run_serving(base, network=network, machine=machine)

@@ -1,0 +1,177 @@
+"""Continuous-batching request scheduler on the virtual clock.
+
+Classic batched inference waits for a full batch, runs it to completion,
+and only then admits new work — head-of-line blocking that wrecks tail
+latency under bursty arrivals. Continuous batching (Orca-style) instead
+treats the batch as a set of *slots*: finished requests free their slot
+immediately and waiting requests join mid-flight at the next decode
+iteration, entering in their prefill phase while neighbours are mid-decode.
+
+The scheduler is deliberately engine-agnostic: it tracks arrivals,
+admission, SLO eviction, and per-request timestamps in *virtual seconds*
+(the simmpi clock); the engine owns the actual forward passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Request", "ContinuousBatchScheduler"]
+
+#: Request lifecycle states.
+WAITING, ACTIVE, DONE, EVICTED = "waiting", "active", "done", "evicted"
+
+
+@dataclass(eq=False)  # identity equality: prompts are arrays
+class Request:
+    """One inference request and its runtime bookkeeping.
+
+    ``arrival``/``slo`` and all timestamps are virtual seconds. ``slot``
+    is the cache/batch row the scheduler assigned while the request is
+    active; ``generated`` accumulates decoded token ids.
+    """
+
+    rid: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    arrival: float = 0.0
+    slo: float | None = None
+    state: str = WAITING
+    slot: int | None = None
+    generated: list[int] = field(default_factory=list)
+    t_admitted: float | None = None
+    t_first_token: float | None = None
+    t_finished: float | None = None
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt, dtype=np.int64)
+        if self.prompt.ndim != 1 or self.prompt.size < 1:
+            raise ConfigError(
+                f"request prompt must be a 1-D token array, got shape "
+                f"{self.prompt.shape}"
+            )
+        if self.max_new_tokens < 1:
+            raise ConfigError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        if self.slo is not None and self.slo <= 0:
+            raise ConfigError(f"slo must be > 0 seconds, got {self.slo}")
+
+    @property
+    def deadline(self) -> float:
+        """Completion deadline (inf when no SLO was attached)."""
+        return float("inf") if self.slo is None else self.arrival + self.slo
+
+    @property
+    def ttft(self) -> float | None:
+        """Time to first token (arrival -> first decoded token)."""
+        if self.t_first_token is None:
+            return None
+        return self.t_first_token - self.arrival
+
+    @property
+    def last_token(self) -> int:
+        """Most recent token (decoded, or the prompt tail before that)."""
+        return int(self.generated[-1]) if self.generated else int(self.prompt[-1])
+
+    def record(self) -> dict:
+        """Flat summary for metrics logging."""
+        return {
+            "rid": self.rid,
+            "state": self.state,
+            "arrival": self.arrival,
+            "prompt_len": int(self.prompt.size),
+            "generated": len(self.generated),
+            "ttft": self.ttft,
+            "finish": self.t_finished,
+            "latency": (
+                None if self.t_finished is None else self.t_finished - self.arrival
+            ),
+            "tokens": [int(t) for t in self.generated],
+        }
+
+
+class ContinuousBatchScheduler:
+    """Slot-based admission with join-mid-flight and SLO eviction.
+
+    ``max_batch_size`` bounds concurrently active requests (= cache rows).
+    Waiting requests are admitted in arrival order as soon as they have
+    both arrived and a free slot; requests whose deadline passes are
+    evicted (active or still waiting) so one straggler cannot hold a slot
+    against its SLO.
+    """
+
+    def __init__(self, max_batch_size: int):
+        if max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.max_batch_size = max_batch_size
+        self.waiting: list[Request] = []
+        self.active: list[Request] = []
+        self.finished: list[Request] = []
+        self._free_slots = list(range(max_batch_size - 1, -1, -1))
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> None:
+        """Queue a request (kept sorted by arrival time)."""
+        self.waiting.append(request)
+        self.waiting.sort(key=lambda r: (r.arrival, r.rid))
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.active)
+
+    @property
+    def next_arrival(self) -> float:
+        """Earliest arrival among waiting requests (inf when none)."""
+        return self.waiting[0].arrival if self.waiting else float("inf")
+
+    def admit(self, now: float) -> list[Request]:
+        """Move arrived requests into free slots; returns the newcomers."""
+        admitted = []
+        while self.waiting and self._free_slots and self.waiting[0].arrival <= now:
+            req = self.waiting.pop(0)
+            req.slot = self._free_slots.pop()
+            req.state = ACTIVE
+            req.t_admitted = now
+            self.active.append(req)
+            admitted.append(req)
+        return admitted
+
+    def evict_expired(self, now: float) -> list[Request]:
+        """Evict every request whose SLO deadline has passed."""
+        evicted = []
+        for req in list(self.active):
+            if now > req.deadline:
+                self.active.remove(req)
+                self._release(req, EVICTED, now)
+                evicted.append(req)
+        for req in list(self.waiting):
+            if now > req.deadline:
+                self.waiting.remove(req)
+                req.state = EVICTED
+                req.t_finished = now
+                self.finished.append(req)
+                evicted.append(req)
+        return evicted
+
+    def finish(self, request: Request, now: float) -> None:
+        """Retire a completed request and free its slot."""
+        if request not in self.active:
+            raise ConfigError(f"request {request.rid} is not active")
+        self.active.remove(request)
+        self._release(request, DONE, now)
+
+    def _release(self, req: Request, state: str, now: float) -> None:
+        if req.slot is not None:
+            self._free_slots.append(req.slot)
+            req.slot = None
+        req.state = state
+        req.t_finished = now
+        self.finished.append(req)

@@ -2,7 +2,7 @@
 
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.clip import clip_grad_norm, global_grad_norm
-from repro.train.metrics import MetricsLogger, read_jsonl
+from repro.train.metrics import LatencyStats, MetricsLogger, read_jsonl
 from repro.train.optim import SGD, Adam, AdamW, Optimizer
 from repro.train.schedules import ConstantLR, LRSchedule, WarmupCosineLR, WarmupLinearLR
 from repro.train.trainer import StepResult, Trainer
@@ -10,6 +10,7 @@ from repro.train.trainer import StepResult, Trainer
 __all__ = [
     "load_checkpoint",
     "save_checkpoint",
+    "LatencyStats",
     "MetricsLogger",
     "read_jsonl",
     "clip_grad_norm",

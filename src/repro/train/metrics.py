@@ -9,11 +9,76 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
+
+import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["MetricsLogger", "read_jsonl"]
+__all__ = ["LatencyStats", "MetricsLogger", "read_jsonl"]
+
+
+class LatencyStats:
+    """Latency sample collector with percentile summaries.
+
+    Serving metrics (TTFT, per-token latency) are distributions, not
+    means: the p95 tail is what an SLO bounds. Samples are in (virtual)
+    seconds; :meth:`summary` flattens count/mean/p50/p95/max into one
+    record ready for :class:`MetricsLogger` or a benchmark table.
+    """
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: list[float] = []
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"latency sample must be >= 0, got {seconds}")
+        self._samples.append(float(seconds))
+
+    def extend(self, samples: Iterable[float]) -> None:
+        for s in samples:
+            self.add(s)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, q in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            raise ConfigError(f"no samples in LatencyStats({self.name!r})")
+        return float(np.percentile(self._samples, q))
+
+    def summary(self, prefix: str = "") -> dict[str, float]:
+        """Flat record: ``<prefix>count/mean/p50/p95/max``."""
+        if not self._samples:
+            return {f"{prefix}count": 0}
+        return {
+            f"{prefix}count": self.count,
+            f"{prefix}mean": self.mean,
+            f"{prefix}p50": self.percentile(50),
+            f"{prefix}p95": self.percentile(95),
+            f"{prefix}max": float(max(self._samples)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._samples:
+            return f"LatencyStats({self.name!r}, empty)"
+        return (
+            f"LatencyStats({self.name!r}, n={self.count}, "
+            f"p50={self.percentile(50):.3g}s, p95={self.percentile(95):.3g}s)"
+        )
 
 
 class MetricsLogger:

@@ -11,6 +11,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.simmpi",
     "repro.network",
     "repro.hardware",
@@ -23,6 +24,7 @@ PACKAGES = [
     "repro.data",
     "repro.perf",
     "repro.resilience",
+    "repro.serve",
     "repro.cli",
     "repro.errors",
     "repro.utils",
@@ -42,6 +44,7 @@ def test_all_names_resolve(name):
 
 
 def test_root_exports_resilience_surface():
+    """Historical root conveniences still resolve (now via shims)."""
     import repro
 
     for name in (
@@ -49,8 +52,74 @@ def test_root_exports_resilience_surface():
         "Supervisor", "ElasticRunConfig", "ElasticRunResult",
         "run_elastic_training",
     ):
-        assert hasattr(repro, name), name
+        with pytest.warns(DeprecationWarning):
+            assert hasattr(repro, name), name
         assert name in repro.__all__
+
+
+class TestApiFacade:
+    def test_facade_is_complete(self):
+        """Every promised name resolves and nothing private leaks."""
+        import repro.api as api
+
+        assert len(api.__all__) == len(set(api.__all__))
+        for name in api.__all__:
+            assert not name.startswith("_"), f"private name {name!r} in __all__"
+            assert getattr(api, name) is not None
+
+    def test_facade_covers_each_subsystem(self):
+        import repro.api as api
+
+        for name in (
+            "build_model", "generate", "tiny_config",           # models
+            "TrainingRunConfig", "run_distributed_training",    # training
+            "ElasticRunConfig", "run_elastic_training",         # elastic
+            "ServeConfig", "run_serving", "KVCache",            # serving
+            "run_spmd", "sunway_network", "sunway_machine",     # substrate
+            "LatencyStats", "MetricsLogger",                    # metrics
+        ):
+            assert name in api.__all__, name
+
+    def test_import_api_is_warning_free(self):
+        """The facade import path must never trip its own shims (CI runs
+        the same check as a subprocess with -W error)."""
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             "-c", "import repro.api"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    @pytest.mark.parametrize(
+        "name",
+        ["FaultModel", "Supervisor", "ElasticRunConfig", "run_elastic_training"],
+    )
+    def test_root_shim_warns_and_names_new_path(self, name):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            via_root = getattr(repro, name)
+        import repro.api as api
+
+        assert via_root is getattr(api, name)
+
+    def test_root_getattr_still_raises_for_unknown(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_name_ever
+
+    def test_facade_objects_are_canonical(self):
+        """The facade re-exports, it does not wrap."""
+        import repro.api as api
+        from repro.models import build_model
+        from repro.serve import run_serving
+
+        assert api.build_model is build_model
+        assert api.run_serving is run_serving
 
 
 def test_version_string():
@@ -127,7 +196,12 @@ class TestKeyAPIsHaveDocstrings:
             "repro.perf.StepModel",
             "repro.perf.calibrate_efficiency",
             "repro.train.Trainer",
+            "repro.train.LatencyStats",
             "repro.amp.DynamicLossScaler",
+            "repro.serve.KVCache",
+            "repro.serve.ContinuousBatchScheduler",
+            "repro.serve.run_serving",
+            "repro.serve.run_sequential_baseline",
         ],
     )
     def test_docstring_present(self, path):
