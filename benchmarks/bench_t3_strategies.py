@@ -15,6 +15,7 @@ import numpy as np
 from repro.hardware import sunway_machine
 from repro.models import bagualu_14_5t, tiny_config
 from repro.network import sunway_network
+from repro.obs import profile_comm
 from repro.parallel import TrainingRunConfig, run_distributed_training
 from repro.perf import ParallelPlan, StepModel
 from repro.utils import format_time
@@ -30,6 +31,8 @@ def _measure(strategy, ep_size, alltoall, allreduce):
             batch_size=2, seq_len=8, strategy=strategy,
             alltoall_algorithm=alltoall, allreduce_algorithm=allreduce,
             model_compute_time=False,  # isolate communication differences
+            trace=True,    # timed per-(op, rank) comm records
+            observe=True,  # router telemetry for the load table
         ),
         network=NET,
     )
@@ -46,6 +49,8 @@ def test_t3_measured_strategy_comparison(benchmark, report):
         ]
         rows = []
         losses = {}
+        comm_rows = []
+        router_rows = []
         for label, name, ep, a2a, ar in strategies:
             res = _measure(name, ep, a2a, ar)
             losses[label] = res.losses
@@ -59,10 +64,29 @@ def test_t3_measured_strategy_comparison(benchmark, report):
                     "total_bytes": res.traffic["total_bytes"],
                 }
             )
-        return rows, losses
+            for rec in profile_comm(res.context, network=NET).per_op():
+                comm_rows.append(
+                    {
+                        "strategy": name,
+                        "op": rec.op,
+                        "calls": rec.calls,
+                        "nbytes": rec.nbytes,
+                        "seconds": rec.seconds,
+                        "utilization": (
+                            0.0 if rec.utilization is None else rec.utilization
+                        ),
+                    }
+                )
+            for row in res.context.router.layer_summary():
+                router_rows.append({"strategy": name, **row})
+        return rows, losses, comm_rows, router_rows
 
-    rows, losses = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, losses, comm_rows, router_rows = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
     report("t3_measured", "T3a: measured per-step communication time (16 ranks)", rows)
+    report("t3_comm", "T3a: per-op comm profile (cost-model utilization)", comm_rows)
+    report("t3_router", "T3a: router load per MoE layer", router_rows)
 
     by = {r["strategy"]: r["seconds"] for r in rows}
     moda = by["MoDa (ep=4, hierarchical)"]

@@ -75,9 +75,30 @@ def test_t8_serving(benchmark, report):
         for rate in (4e3, 16e3, 64e3):
             res = run_serving(_serve_cfg(arrival_rate=rate))
             rows.append(_row("continuous", res, baseline_throughput=bt))
-        return rows
+        # Observed run: router telemetry + the serve metric registry.
+        obs = run_serving(_serve_cfg(observe=True))
+        router_rows = obs.context.router.layer_summary()
+        metric_rows = [
+            # Uniform columns: histograms report their mean + count,
+            # counters/gauges their value with count 1.
+            {
+                "metric": r["metric"],
+                "type": r["type"],
+                "labels": r["labels"] or "-",
+                "value": r.get("value", r.get("mean", 0.0)),
+                "count": int(r.get("count", 1)),
+            }
+            for r in obs.context.metrics.snapshot()
+        ]
+        return rows, router_rows, metric_rows
 
-    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows, router_rows, metric_rows = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    report("t8_router", "T8: decode-time router load per MoE layer", router_rows)
+    report("t8_obs", "T8: serve metric registry (observed run)", metric_rows)
+    assert any(r["metric"] == "serve_iterations" for r in metric_rows)
+    assert all(r["mean_drop_fraction"] == 0.0 for r in router_rows)
     report(
         "t8_serving",
         f"T8: serving on {WORLD} EP ranks ({REQUESTS} reqs x {MAX_NEW} new "

@@ -66,6 +66,19 @@ from repro.simmpi import FaultModel, FaultPlan, FlakyLink, RunContext, run_spmd
 # Metrics -------------------------------------------------------------------
 from repro.train.metrics import LatencyStats, MetricsLogger, read_jsonl
 
+# Observability: registry, profilers, flight recorder, reports --------------
+from repro.obs import (
+    CommProfile,
+    FlightRecorder,
+    MetricRegistry,
+    RouterTelemetry,
+    build_report,
+    collect_run_records,
+    generate_run_report,
+    profile_comm,
+    to_prometheus,
+)
+
 __all__ = [
     # models / configs
     "BRAIN_SCALE_CONFIGS",
@@ -108,4 +121,14 @@ __all__ = [
     "LatencyStats",
     "MetricsLogger",
     "read_jsonl",
+    # observability
+    "CommProfile",
+    "FlightRecorder",
+    "MetricRegistry",
+    "RouterTelemetry",
+    "build_report",
+    "collect_run_records",
+    "generate_run_report",
+    "profile_comm",
+    "to_prometheus",
 ]

@@ -11,11 +11,17 @@ Commands
                 backoff, and elastic shrink-and-reshard restarts
 ``serve``       KV-cached continuous-batching inference over expert-
                 parallel ranks (``--requests/--arrival-rate/--ep/--slo-ms``)
+``report``      render a run's JSONL metrics file into a deterministic
+                markdown run report (phases, comm, router, SLO)
 ``project``     brain-scale performance/memory projection
 ``configs``     print the model configuration table
 
 Every command prints human-readable output and (optionally) logs metrics
-to a JSONL/CSV file via ``--metrics``.
+to a JSONL/CSV file via ``--metrics``. ``distributed``, ``resilient`` and
+``serve`` accept ``--observe``: the run carries a live metric registry +
+router telemetry, and JSONL metrics gain typed observability records
+(``record`` ∈ ``context``/``comm``/``router``/``metric``) that ``report``
+renders.
 """
 
 from __future__ import annotations
@@ -95,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--metrics", default=None)
     p_dist.add_argument("--trace", default=None, metavar="OUT_JSON",
                         help="write a Chrome-tracing JSON of the run")
+    p_dist.add_argument("--observe", action="store_true",
+                        help="carry a live metric registry + router "
+                             "telemetry; JSONL metrics gain typed "
+                             "observability records for 'report'")
 
     p_3d = sub.add_parser("3d", help="simulated pipe x data x expert training")
     p_3d.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
@@ -147,6 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL metrics file (losses + lifecycle events)")
     p_res.add_argument("--trace", default=None, metavar="OUT_JSON",
                        help="write a Chrome-tracing JSON of the session")
+    p_res.add_argument("--observe", action="store_true",
+                       help="carry a live metric registry + router "
+                            "telemetry across launches")
 
     p_srv = sub.add_parser(
         "serve",
@@ -185,6 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "records on JSONL)")
     p_srv.add_argument("--trace", default=None, metavar="OUT_JSON",
                        help="write a Chrome-tracing JSON of the run")
+    p_srv.add_argument("--observe", action="store_true",
+                       help="carry a live metric registry + router "
+                            "telemetry; JSONL metrics gain typed "
+                            "observability records for 'report'")
+
+    p_rep = sub.add_parser(
+        "report",
+        help="render a JSONL metrics file into a markdown run report",
+    )
+    p_rep.add_argument("metrics", help="JSONL metrics file from a run "
+                                       "(--metrics out.jsonl)")
+    p_rep.add_argument("--out", default=None, metavar="OUT_MD",
+                       help="write the report here (default: stdout)")
+    p_rep.add_argument("--title", default=None,
+                       help="report title (default: derived from the file)")
 
     p_proj = sub.add_parser("project", help="brain-scale projection")
     p_proj.add_argument("--model", choices=sorted(BRAIN_SCALE_CONFIGS), default="14.5T")
@@ -275,6 +303,7 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         num_microbatches=args.microbatches,
         strategy=args.strategy,
         trace=args.trace is not None,
+        observe=args.observe,
     )
     net = sunway_network(args.world, supernode_size=args.supernode)
     print(f"launching {args.world} simulated ranks via strategy "
@@ -291,6 +320,10 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
             # CSV headers are fixed by the per-step records, so the
             # context snapshot (different keys) goes to JSONL sinks only.
             logger.log_context(result.context, strategy=result.meta["strategy"])
+            if args.observe:
+                from repro.obs import collect_run_records
+
+                logger.log_events(collect_run_records(result.context, network=net))
     finally:
         if logger:
             logger.close()
@@ -387,6 +420,7 @@ def _cmd_resilient(args: argparse.Namespace) -> int:
         shrink_after=args.shrink_after,
         min_world_size=args.min_world,
         trace=args.trace is not None,
+        observe=args.observe,
     )
     fault_desc = "healthy machine" if faults is None else (
         f"mtbf={args.mtbf} dead={tuple(args.dead_node or ())} "
@@ -424,6 +458,10 @@ def _cmd_resilient(args: argparse.Namespace) -> int:
             if logger.path.suffix == ".jsonl":
                 logger.log_events(result.context.events, record="event")
                 logger.log({"record": "summary", **result.metrics_record()})
+                if args.observe:
+                    from repro.obs import collect_run_records
+
+                    logger.log_events(collect_run_records(result.context))
         print(f"metrics            : {args.metrics}")
     if args.trace:
         path = result.context.write_chrome_trace(args.trace)
@@ -453,6 +491,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alltoall_algorithm=args.alltoall,
         supernode_size=args.supernode,
         trace=args.trace is not None,
+        observe=args.observe,
     )
     arrival = ("all at t=0" if args.arrival_rate is None
                else f"Poisson {args.arrival_rate:g} req/s")
@@ -494,10 +533,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if logger.path.suffix == ".jsonl":
                 for rec in result.requests:
                     logger.log({"record": "request", **rec})
+                if args.observe and result.context is not None:
+                    from repro.obs import collect_run_records
+
+                    logger.log_events(collect_run_records(result.context))
         print(f"metrics            : {args.metrics}")
     if args.trace:
         path = result.context.write_chrome_trace(args.trace)
         print(f"chrome trace       : {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import generate_run_report
+
+    report = generate_run_report(args.metrics, out_path=args.out, title=args.title)
+    if args.out:
+        print(f"report written to {args.out} "
+              f"({len(report.splitlines())} lines)")
+    else:
+        print(report, end="")
     return 0
 
 
@@ -554,6 +609,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "3d": _cmd_3d,
         "resilient": _cmd_resilient,
         "serve": _cmd_serve,
+        "report": _cmd_report,
         "project": _cmd_project,
         "configs": _cmd_configs,
     }

@@ -1,0 +1,55 @@
+"""Unified observability: metric registry, profilers, flight recorder.
+
+BaGuaLu's headline results are measurements — scaling efficiency,
+alltoall bandwidth, expert load balance — so the reproduction needs one
+measurement substrate rather than scattered counters. This package
+supplies it, layered on the :class:`~repro.simmpi.RunContext` spine:
+
+- :mod:`~repro.obs.registry` — labeled ``Counter`` / ``Gauge`` /
+  ``Histogram`` series; a no-op :data:`NULL_REGISTRY` when disabled.
+- :mod:`~repro.obs.comm` — per-collective, per-rank comm profile with
+  achieved-vs-costmodel bandwidth utilization.
+- :mod:`~repro.obs.router` — per-layer per-step MoE expert-load
+  telemetry (imbalance / cv / drop timeseries, heatmaps).
+- :mod:`~repro.obs.flight` — bounded per-rank flight recorder, dumped
+  automatically onto fault / deadlock / overflow exceptions.
+- :mod:`~repro.obs.export` — Prometheus text exposition, JSONL records,
+  enriched Chrome traces.
+- :mod:`~repro.obs.report` — deterministic markdown run reports
+  (the ``report`` CLI subcommand).
+"""
+
+from repro.obs.comm import CommProfile, CommRecord, profile_comm
+from repro.obs.export import registry_records, to_prometheus, write_enriched_trace
+from repro.obs.flight import FlightRecorder
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+)
+from repro.obs.report import build_report, collect_run_records, generate_run_report
+from repro.obs.router import RouterSample, RouterTelemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "CommProfile",
+    "CommRecord",
+    "profile_comm",
+    "RouterSample",
+    "RouterTelemetry",
+    "FlightRecorder",
+    "to_prometheus",
+    "registry_records",
+    "write_enriched_trace",
+    "collect_run_records",
+    "build_report",
+    "generate_run_report",
+]

@@ -1,0 +1,247 @@
+"""Comm profiler: per-collective, per-rank records with model utilization.
+
+:class:`~repro.simmpi.stats.TrafficStats` answers "how many bytes moved";
+this profiler answers the next question — *how well* they moved. From the
+run's trace stream it aggregates, per (op, rank): call count, payload
+bytes, and recorded virtual seconds, then re-prices each collective
+through the run's :class:`~repro.network.costmodel.NetworkModel` to get a
+``model_seconds`` floor. ``utilization = model_seconds / seconds`` — the
+recorded interval starts at the rank's *arrival* at the collective, so a
+utilization below 1.0 is rendezvous wait: arrival skew, straggler
+experts, pipeline bubbles. That makes the gap between the two columns the
+direct, per-op measurement of BaGuaLu's load-balance story.
+
+Without a trace the profiler degrades to the ``TrafficStats`` per-op
+aggregates (calls + bytes, no timing), so ``report`` always has a comm
+table to show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.costmodel import NetworkModel
+    from repro.simmpi.context import RunContext
+
+__all__ = ["CommRecord", "CommProfile", "profile_comm"]
+
+#: Trace ops that are modelled collectives (map to a cost-model kind).
+_COLLECTIVE_KINDS = {
+    "barrier": "barrier",
+    "bcast": "bcast",
+    "scatter": "scatter",
+    "gather": "gather",
+    "allgather": "allgather",
+    "reduce": "reduce",
+    "allreduce": "allreduce",
+    "reduce_scatter": "reduce_scatter",
+    "alltoall": "alltoall",
+    "split": "barrier",
+    "split-alloc": "barrier",
+}
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """Aggregate of one (op, rank) pair. ``rank`` is None for the
+    untraced TrafficStats fallback (per-op totals only)."""
+
+    op: str
+    rank: int | None
+    calls: int
+    nbytes: int
+    #: Recorded virtual seconds inside the op (includes rendezvous wait).
+    seconds: float
+    #: Cost-model seconds for the same calls (None when unpriceable).
+    model_seconds: float | None
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bytes / recorded second (0 when untimed)."""
+        return self.nbytes / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def utilization(self) -> float | None:
+        """model_seconds / seconds — <1.0 means time lost to skew/wait.
+
+        >1.0 means the calls actually ran on sub-communicators smaller
+        than the assumed member set (pass the real group via
+        ``profile_comm(..., members=...)`` to reprice them).
+        """
+        if self.model_seconds is None or self.seconds <= 0:
+            return None
+        return self.model_seconds / self.seconds
+
+
+def _model_cost(
+    network: "NetworkModel",
+    op: str,
+    nbytes: int,
+    members: Sequence[int],
+) -> float | None:
+    """Cost-model seconds for one recorded call, or None if unpriceable."""
+    kind = _COLLECTIVE_KINDS.get(op)
+    if kind is None or len(members) < 2:
+        return None
+    if kind == "barrier":
+        return network.barrier_time(members)
+    if kind == "alltoall":
+        # The trace carries total bytes leaving the rank; the cost model
+        # wants the uniform per-pair payload.
+        per_pair = nbytes / max(len(members) - 1, 1)
+        return network.alltoall_time(per_pair, members)
+    fn = getattr(network, f"{kind}_time")
+    return fn(nbytes, members)
+
+
+class CommProfile:
+    """Deterministically ordered list of :class:`CommRecord`."""
+
+    def __init__(self, records: list[CommRecord], traced: bool):
+        self.traced = traced
+        self._records = sorted(
+            records, key=lambda r: (r.op, -1 if r.rank is None else r.rank)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def per_rank(self) -> list[CommRecord]:
+        return list(self._records)
+
+    def per_op(self) -> list[CommRecord]:
+        """Collapse ranks: one record per op (seconds = max over ranks,
+        since ranks run concurrently; bytes/calls summed)."""
+        by_op: dict[str, list[CommRecord]] = {}
+        for r in self._records:
+            by_op.setdefault(r.op, []).append(r)
+        out = []
+        for op in sorted(by_op):
+            group = by_op[op]
+            models = [r.model_seconds for r in group if r.model_seconds is not None]
+            out.append(
+                CommRecord(
+                    op=op,
+                    rank=None,
+                    calls=max(r.calls for r in group),
+                    nbytes=sum(r.nbytes for r in group),
+                    seconds=max(r.seconds for r in group),
+                    model_seconds=max(models) if models else None,
+                )
+            )
+        return out
+
+    def records(self) -> list[dict[str, Any]]:
+        """Flat per-(op, rank) dicts for a JSONL sink."""
+        return [
+            {
+                "op": r.op,
+                "rank": -1 if r.rank is None else r.rank,
+                "calls": r.calls,
+                "nbytes": r.nbytes,
+                "seconds": r.seconds,
+                "bandwidth": r.bandwidth,
+                "model_seconds": -1.0 if r.model_seconds is None else r.model_seconds,
+                "utilization": -1.0 if r.utilization is None else r.utilization,
+            }
+            for r in self._records
+        ]
+
+    def emit(self, registry) -> None:
+        """Write the profile into a metric registry (per-op aggregates)."""
+        for r in self.per_op():
+            registry.counter("comm_calls", op=r.op).inc(r.calls)
+            registry.counter("comm_bytes", op=r.op).inc(r.nbytes)
+            registry.gauge("comm_seconds", op=r.op).set(r.seconds)
+            if r.utilization is not None:
+                registry.gauge("comm_utilization", op=r.op).set(r.utilization)
+
+    def format_table(self) -> str:
+        """Fixed-width per-op table (deterministic, report-ready)."""
+        header = (
+            f"{'op':<16} {'calls':>7} {'MiB':>10} {'seconds':>10} "
+            f"{'GiB/s':>8} {'model_s':>10} {'util':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.per_op():
+            model = f"{r.model_seconds:10.4f}" if r.model_seconds is not None else f"{'-':>10}"
+            util = f"{r.utilization:6.2f}" if r.utilization is not None else f"{'-':>6}"
+            lines.append(
+                f"{r.op:<16} {r.calls:>7} {r.nbytes / 2**20:>10.3f} "
+                f"{r.seconds:>10.4f} {r.bandwidth / 2**30:>8.3f} {model} {util}"
+            )
+        return "\n".join(lines)
+
+
+def profile_comm(
+    context: "RunContext",
+    network: "NetworkModel | None" = None,
+    members: Sequence[int] | None = None,
+) -> CommProfile:
+    """Build a :class:`CommProfile` from a run's context.
+
+    With a trace, records are per (op, rank) with recorded virtual time
+    and (given ``network``) cost-model utilization; ``members`` defaults
+    to every rank seen in the trace — pass the actual group for
+    collectives run on sub-communicators. Without a trace, falls back to
+    the TrafficStats per-op aggregates.
+    """
+    if context.trace_events is not None:
+        buckets: dict[tuple[str, int], list] = {}
+        ranks = set()
+        for e in context.trace_events:
+            if e.op.startswith("event:"):
+                continue
+            ranks.add(e.rank)
+            buckets.setdefault((e.op, e.rank), []).append(e)
+        group = list(members) if members is not None else sorted(ranks)
+        records = []
+        for (op, rank), events in buckets.items():
+            model: float | None = None
+            if network is not None:
+                costs = [_model_cost(network, op, e.nbytes, group) for e in events]
+                if all(c is not None for c in costs) and costs:
+                    model = float(sum(costs))
+            records.append(
+                CommRecord(
+                    op=op,
+                    rank=rank,
+                    calls=len(events),
+                    nbytes=sum(e.nbytes for e in events),
+                    seconds=sum(e.t_end - e.t_start for e in events),
+                    model_seconds=model,
+                )
+            )
+        return CommProfile(records, traced=True)
+
+    # Untraced fallback: per-op totals from TrafficStats.
+    stats = context.stats
+    records = [
+        CommRecord(
+            op=op,
+            rank=None,
+            calls=int(stats.collective_calls[op]),
+            nbytes=int(stats.collective_bytes[op]),
+            seconds=0.0,
+            model_seconds=None,
+        )
+        for op in sorted(stats.collective_calls)
+    ]
+    if stats.p2p_messages:
+        records.append(
+            CommRecord(
+                op="p2p",
+                rank=None,
+                calls=stats.p2p_messages,
+                nbytes=stats.p2p_bytes,
+                seconds=0.0,
+                model_seconds=None,
+            )
+        )
+    return CommProfile(records, traced=False)

@@ -1,0 +1,149 @@
+"""Exporters: Prometheus text exposition, JSONL records, enriched traces.
+
+One registry, three sinks:
+
+- :func:`to_prometheus` renders the standard text exposition format, so a
+  node-local scrape target (or a file-based textfile collector) can ship
+  the run's metrics into an existing dashboard stack.
+- :func:`registry_records` flattens the registry into scalar-only dicts
+  for :meth:`~repro.train.metrics.MetricsLogger.log_events` — the same
+  JSONL stream the trainers already write, so ``report`` reads one file.
+- :func:`write_enriched_trace` upgrades the plain Chrome trace with
+  process/thread naming metadata and lifecycle-event instants, so a
+  recovery session's restarts are visible on the Perfetto timeline next
+  to the collectives they interrupted.
+
+All output is deterministic: series are walked in the registry's sorted
+order and label sets render pre-sorted.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError
+from repro.obs.registry import Histogram, MetricRegistry, NullRegistry
+from repro.simmpi.trace import to_chrome_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.context import RunContext
+
+__all__ = ["to_prometheus", "registry_records", "write_enriched_trace"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    base = _NAME_OK.sub("_", name)
+    if namespace:
+        base = f"{_NAME_OK.sub('_', namespace)}_{base}"
+    if not base or base[0].isdigit():
+        base = f"_{base}"
+    return base
+
+
+def _prom_labels(pairs: tuple, extra: dict[str, str] | None = None) -> str:
+    items = list(pairs)
+    if extra:
+        items = sorted(items + list(extra.items()))
+    if not items:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            _NAME_OK.sub("_", k),
+            str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
+        for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(
+    registry: "MetricRegistry | NullRegistry", namespace: str = "repro"
+) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters and gauges emit one sample; histograms emit a summary-style
+    family (``_count`` / ``_sum`` plus ``quantile`` samples for p50/p95).
+    A disabled registry renders to an empty string.
+    """
+    by_name: dict[str, list] = {}
+    for inst in registry.series():
+        by_name.setdefault(inst.name, []).append(inst)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        family = by_name[name]
+        kind = family[0].kind
+        prom = _prom_name(name, namespace)
+        lines.append(f"# TYPE {prom} {'summary' if kind == 'histogram' else kind}")
+        for inst in family:
+            if isinstance(inst, Histogram):
+                s = inst.summary()
+                for q, key in (("0.5", "p50"), ("0.95", "p95")):
+                    lines.append(
+                        f"{prom}{_prom_labels(inst.labels, {'quantile': q})} {s[key]:g}"
+                    )
+                lines.append(f"{prom}_count{_prom_labels(inst.labels)} {s['count']:g}")
+                lines.append(f"{prom}_sum{_prom_labels(inst.labels)} {s['sum']:g}")
+            else:
+                lines.append(f"{prom}{_prom_labels(inst.labels)} {inst.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_records(registry: "MetricRegistry | NullRegistry") -> list[dict[str, Any]]:
+    """Scalar-only per-series dicts, tagged ``record="metric"`` for the
+    run JSONL (what the ``report`` subcommand reads back)."""
+    return [{"record": "metric", **rec} for rec in registry.snapshot()]
+
+
+def write_enriched_trace(context: "RunContext", path: str | Path) -> Path:
+    """Write a Chrome trace with naming metadata and lifecycle instants.
+
+    Adds ``process_name``/``thread_name`` metadata records (ranks sort as
+    ``rank N`` lanes) and one instant (``ph=i``) per lifecycle event, so
+    restarts/evictions land on the timeline. Raises
+    :class:`~repro.errors.ConfigError` for an untraced context, same as
+    :meth:`RunContext.write_chrome_trace`.
+    """
+    if context.trace_events is None:
+        raise ConfigError(
+            "run was not traced; launch with trace=True to export a trace"
+        )
+    records = to_chrome_trace(context.trace_events)
+    meta: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "simulated world"},
+        }
+    ]
+    for rank in sorted({e.rank for e in context.trace_events}):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    instants = [
+        {
+            "name": event["kind"],
+            "ph": "i",
+            "ts": event.get("t", 0.0) * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "s": "g",
+            "args": {k: v for k, v in event.items() if k not in ("kind", "t")},
+        }
+        for event in context.events
+    ]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"traceEvents": meta + records + instants}))
+    return path

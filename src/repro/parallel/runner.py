@@ -73,6 +73,10 @@ class TrainingRunConfig:
     strategy: str = "auto"
     #: Record TraceEvents (Chrome-trace exportable via the RunContext).
     trace: bool = False
+    #: Give the run a live metric registry + router telemetry
+    #: (``result.context.metrics`` / ``.router``); off by default so the
+    #: hot path stays on the no-op registry.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.world_size < 1 or self.num_steps < 1:
@@ -164,6 +168,7 @@ def run_distributed_training(
         timeout=cfg.timeout,
         args=(cfg, machine),
         trace=cfg.trace,
+        observe=cfg.observe,
     )
     losses = spmd.returns[0]["losses"]
     for r in spmd.returns[1:]:

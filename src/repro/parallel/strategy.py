@@ -107,6 +107,38 @@ def _imbalance_of(modules) -> float:
     return float(total.max() / mean) if mean > 0 else 1.0
 
 
+def _emit_step_observations(comm, step: int, outcome: StepOutcome,
+                            modules, strategy_name: str) -> None:
+    """Emit one step's metrics + router telemetry into the run's spine.
+
+    Called by every rank after each step; only world rank 0 of an
+    observing run records (loads are already group-allreduced, so one
+    writer keeps the numbers global and counted once). On an unobserved
+    run this is two attribute reads and a return.
+    """
+    context = comm.context
+    if not context.observing or comm.rank != 0:
+        return
+    registry = context.metrics
+    registry.counter("train_steps", strategy=strategy_name).inc()
+    registry.gauge("train_loss", strategy=strategy_name).set(outcome.global_loss)
+    registry.histogram("train_imbalance", strategy=strategy_name).observe(
+        outcome.imbalance
+    )
+    if context.router is None:
+        return
+    layer = 0
+    for m in modules:
+        load = getattr(m, "last_global_load", None)
+        if load is None:
+            continue
+        context.router.record(
+            step, layer, load,
+            drop_fraction=float(getattr(m, "last_drop_fraction", 0.0) or 0.0),
+        )
+        layer += 1
+
+
 # ---------------------------------------------------------------------- #
 # Hybrid (in-plane) process groups and model
 # ---------------------------------------------------------------------- #
@@ -399,7 +431,9 @@ def strategy_for_layout(layout: ParallelLayout) -> ParallelStrategy:
 class _PlaneTrainer(RankTrainer):
     """Adapter: drives a (Hybrid/MoDa) trainer through the step protocol."""
 
-    def __init__(self, trainer: MoDaTrainer, model, loader, timer, comm, tokens):
+    def __init__(self, trainer: MoDaTrainer, model, loader, timer, comm, tokens,
+                 strategy_name: str = "plane"):
+        self.strategy_name = strategy_name
         self.trainer = trainer
         self.model = model
         self.loader = loader
@@ -411,12 +445,16 @@ class _PlaneTrainer(RankTrainer):
         if self.timer is not None:
             self.comm.advance(self.timer.dense_step_time(self.tokens))
         res = self.trainer.train_step(self.loader.get_batch(step))
-        return StepOutcome(
+        outcome = StepOutcome(
             loss=res.loss,
             global_loss=res.global_loss,
             imbalance=_imbalance_of(self.model.moe_layers()),
             extras=dict(res.extras),
         )
+        _emit_step_observations(
+            self.comm, step, outcome, self.model.moe_layers(), self.strategy_name
+        )
+        return outcome
 
 
 class _PlaneStrategy(ParallelStrategy):
@@ -461,7 +499,8 @@ class _PlaneStrategy(ParallelStrategy):
             dp_rank=data_rank, dp_size=layout.data_streams,
         )
         return _PlaneTrainer(
-            trainer, model, loader, timer, comm, cfg.batch_size * cfg.seq_len
+            trainer, model, loader, timer, comm, cfg.batch_size * cfg.seq_len,
+            strategy_name=self.name,
         )
 
 
@@ -577,7 +616,9 @@ def _validate_tp_model(model: ModelConfig, tp_size: int) -> None:
 class _PipelineTrainer(RankTrainer):
     """Adapter: drives a Trainer3D pipeline through the step protocol."""
 
-    def __init__(self, trainer: Trainer3D, loader, timer, comm, tokens, pp_size):
+    def __init__(self, trainer: Trainer3D, loader, timer, comm, tokens, pp_size,
+                 strategy_name: str = "pipeline"):
+        self.strategy_name = strategy_name
         self.trainer = trainer
         self.loader = loader
         self.timer = timer
@@ -591,12 +632,17 @@ class _PipelineTrainer(RankTrainer):
             # per rank is the full-model step time split across stages.
             self.comm.advance(self.timer.dense_step_time(self.tokens) / self.pp_size)
         res = self.trainer.train_step(self.loader.get_batch(step))
-        return StepOutcome(
+        outcome = StepOutcome(
             loss=res.loss,
             global_loss=res.global_loss,
             imbalance=_imbalance_of(self.trainer.stage.modules()),
             extras=dict(res.extras),
         )
+        _emit_step_observations(
+            self.comm, step, outcome, self.trainer.stage.modules(),
+            self.strategy_name,
+        )
+        return outcome
 
 
 class _PipelineBase(ParallelStrategy):
@@ -649,6 +695,7 @@ class _PipelineBase(ParallelStrategy):
         return _PipelineTrainer(
             trainer, loader, timer, comm,
             cfg.batch_size * cfg.seq_len, layout.pp_size,
+            strategy_name=self.name,
         )
 
 

@@ -117,6 +117,9 @@ class ElasticRunConfig:
     model_compute_time: bool = True
     timeout: float = 120.0
     trace: bool = False
+    #: Give the session (and every launch) a live metric registry +
+    #: router telemetry; the session context absorbs each launch's.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
@@ -286,6 +289,7 @@ class Supervisor:
             timeout=cfg.timeout,
             strategy=cfg.strategy,
             trace=cfg.trace,
+            observe=cfg.observe,
         )
         strategy = run_cfg.resolve_strategy()
         if strategy.name not in _IN_PLANE:
@@ -334,7 +338,7 @@ class Supervisor:
         cfg = self.cfg
         ckpt_dir = Path(cfg.checkpoint_dir)
         ckpt_dir.mkdir(parents=True, exist_ok=True)
-        session = RunContext(trace=cfg.trace)
+        session = RunContext(trace=cfg.trace, observe=cfg.observe)
 
         world = cfg.world_size
         ep = cfg.ep_size
@@ -388,6 +392,7 @@ class Supervisor:
                     faults=self._plan_for(attempt),
                     args=(spec,),
                     trace=cfg.trace,
+                    observe=cfg.observe,
                 )
             except ReproError as exc:
                 # A modelled failure: charge the crashed attempt's virtual
@@ -406,6 +411,21 @@ class Supervisor:
                 wasted = progress.completed_step - progress.durable_step
                 lost_steps += wasted
                 key = self._blame_key(exc)
+                # The engine ships every rank's final recorded operations
+                # on the exception; reference the evidence in the failure
+                # event (the full dump was already folded into the session
+                # flight recorder via the partial context).
+                flight = getattr(exc, "flight_dump", None)
+                flight_fields: dict[str, Any] = {}
+                if flight is not None:
+                    last_op = flight.get("last_op", {})
+                    blamed_rank = getattr(exc, "rank", None)
+                    flight_fields["flight_events"] = sum(
+                        len(v) for v in flight.get("ranks", {}).values()
+                    )
+                    flight_fields["flight_last_op"] = last_op.get(
+                        blamed_rank, None
+                    ) if blamed_rank is not None else None
                 session.record_event(
                     "failure",
                     t=clock,
@@ -416,7 +436,12 @@ class Supervisor:
                     node=key,
                     lost_steps=wasted,
                     durable_step=progress.durable_step,
+                    **flight_fields,
                 )
+                session.metrics.counter(
+                    "session_failures", failure=classify_failure(exc)
+                ).inc()
+                session.metrics.counter("session_lost_steps").inc(wasted)
                 if key is not None and cfg.elastic:
                     blame[key] += 1
                     if (
@@ -447,6 +472,7 @@ class Supervisor:
                         )
                         world, ep = new_world, new_ep
                         shrinks += 1
+                        session.metrics.counter("session_shrinks").inc()
                         del blame[key]
                 backoff = min(
                     cfg.backoff_cap,
@@ -458,6 +484,8 @@ class Supervisor:
                 session.record_event(
                     "backoff", t=clock, seconds=backoff, consecutive=consecutive
                 )
+                session.metrics.counter("session_restarts").inc()
+                session.metrics.histogram("session_backoff_seconds").observe(backoff)
                 continue
 
             # Success: fold the segment into the session and finish.
@@ -478,6 +506,10 @@ class Supervisor:
                 world_size=world,
                 steps=len(seg["losses"]),
             )
+            session.metrics.gauge("session_final_world_size").set(world)
+            session.metrics.gauge("session_useful_time").set(useful_time)
+            session.metrics.gauge("session_lost_time").set(lost_time)
+            session.metrics.gauge("session_backoff_time").set(backoff_time)
             break
 
         covered = sorted(loss_by_step)

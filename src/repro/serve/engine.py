@@ -87,6 +87,9 @@ class ServeConfig:
     supernode_size: int = 256
     timeout: float = 600.0
     trace: bool = False
+    #: Give the run a live metric registry + router telemetry
+    #: (``result.context.metrics`` / ``.router``).
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.ep_size < 1:
@@ -338,6 +341,19 @@ def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> di
     token_lat: list[float] = []
     context = comm.context
     dummy = np.zeros((1, 1), dtype=np.int64)
+    iteration = 0
+
+    def emit_router(step: int) -> None:
+        """Per-iteration router telemetry (rank 0, observing runs only)."""
+        if comm.rank != 0 or context is None or context.router is None:
+            return
+        for layer_idx, m in enumerate(model.moe_layers()):
+            load = getattr(m, "last_global_load", None)
+            if load is not None:
+                context.router.record(
+                    step, layer_idx, load,
+                    drop_fraction=float(getattr(m, "last_drop_fraction", 0.0) or 0.0),
+                )
 
     def decode_step() -> None:
         """One mixed prefill+decode forward over the active slots."""
@@ -383,6 +399,9 @@ def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> di
         dt = comm.clock - t0
         if context is not None and comm.rank == 0:
             context.add_phase("prefill" if admitted else "decode", dt)
+            context.metrics.counter("serve_iterations").inc()
+            context.metrics.histogram("serve_iteration_seconds").observe(dt)
+        emit_router(iteration)
         now = comm.clock
         for i, req in enumerate(list(sched.active)):
             if not cfg.greedy and req.rid not in samplers:
@@ -410,6 +429,7 @@ def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> di
                 if np.isfinite(sched.next_arrival):
                     comm.advance(sched.next_arrival - comm.clock)
             decode_step()
+            iteration += 1
 
     return {
         "rank": comm.rank,
@@ -444,6 +464,7 @@ def run_serving(
         seed=cfg.seed,
         timeout=cfg.timeout,
         trace=cfg.trace,
+        observe=cfg.observe,
         args=(cfg, machine),
     )
     records: list[dict] = []
@@ -462,6 +483,20 @@ def run_serving(
             elif rec["state"] == "evicted":
                 evicted += 1
     records.sort(key=lambda r: r["rid"])
+    context = spmd.context
+    if context is not None and context.observing:
+        # Driver-side aggregates: SLO distributions + outcome counters.
+        registry = context.metrics
+        registry.counter("serve_completed").inc(completed)
+        registry.counter("serve_evicted").inc(evicted)
+        registry.counter("serve_decode_tokens").inc(decode_tokens)
+        registry.gauge("serve_throughput_tok_s").set(
+            decode_tokens / spmd.simulated_time if spmd.simulated_time > 0 else 0.0
+        )
+        registry.histogram("serve_ttft_seconds").observe_many(ttft.samples)
+        registry.histogram("serve_token_latency_seconds").observe_many(
+            token_latency.samples
+        )
     return ServeResult(
         config=cfg,
         completed=completed,

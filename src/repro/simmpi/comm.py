@@ -81,6 +81,7 @@ class _World:
         timeout: float,
         faults: FaultPlan | None,
         trace: bool = False,
+        observe: bool = False,
     ):
         self.size = size
         self.network = network
@@ -100,14 +101,21 @@ class _World:
                 on_launch(size)
         from repro.simmpi.context import RunContext  # local import: no cycle
         from repro.simmpi.trace import TraceEvent
-        self.context = RunContext(trace=trace)
+        self.context = RunContext(trace=trace, observe=observe)
         self.stats = self.context.stats
         self.op_counters = [0] * size
         self._trace_event_cls = TraceEvent
         self.trace_events: list | None = self.context.trace_events
+        self.flight = self.context.flight
 
     def record(self, rank: int, op: str, t0: float, t1: float, nbytes: int = 0) -> None:
-        """Append a trace interval (call with the world lock held)."""
+        """Append a trace interval (call with the world lock held).
+
+        The flight recorder is fed unconditionally — its bounded ring is
+        the post-mortem evidence when this run dies — while the full
+        trace stream stays opt-in.
+        """
+        self.flight.record(rank, op, t0, t1, nbytes)
         if self.trace_events is not None:
             self.trace_events.append(
                 self._trace_event_cls(rank=rank, op=op, t_start=t0, t_end=t1, nbytes=nbytes)

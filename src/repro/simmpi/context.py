@@ -21,6 +21,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import ConfigError
+from repro.obs.flight import DEFAULT_LIMIT, FlightRecorder
+from repro.obs.registry import NULL_REGISTRY, MetricRegistry, NullRegistry
+from repro.obs.router import RouterTelemetry
 from repro.simmpi.stats import TrafficStats
 from repro.simmpi.trace import TraceEvent, write_chrome_trace
 
@@ -36,9 +39,19 @@ class RunContext:
     Shared by every rank thread of the run; phase accumulation is guarded
     by a lock (TrafficStats and the trace list are already updated under
     the world lock by the engine).
+
+    With ``observe=True`` the context additionally owns a
+    :class:`~repro.obs.registry.MetricRegistry` and
+    :class:`~repro.obs.router.RouterTelemetry` that instrumented code
+    emits into; without it, ``metrics`` is the shared no-op
+    :data:`~repro.obs.registry.NULL_REGISTRY`, so emission sites never
+    branch. The bounded :class:`~repro.obs.flight.FlightRecorder` is
+    always on — its cost is O(1) ring appends — so every failure
+    post-mortem has the last operations of every rank.
     """
 
-    def __init__(self, trace: bool = False):
+    def __init__(self, trace: bool = False, observe: bool = False,
+                 flight_limit: int = DEFAULT_LIMIT):
         #: Aggregate traffic counters (updated by the engine).
         self.stats = TrafficStats()
         #: Virtual-time event stream, or None when tracing is off.
@@ -48,6 +61,14 @@ class RunContext:
         #: Run-lifecycle events (restart / backoff / reshard ...): plain
         #: dicts with at least ``kind`` and a virtual timestamp ``t``.
         self.events: list[dict[str, Any]] = []
+        #: Labeled metric series; the shared no-op when not observing.
+        self.metrics: MetricRegistry | NullRegistry = (
+            MetricRegistry() if observe else NULL_REGISTRY
+        )
+        #: Per-layer per-step MoE router telemetry (None when disabled).
+        self.router: RouterTelemetry | None = RouterTelemetry() if observe else None
+        #: Always-on bounded ring of recent per-rank activity.
+        self.flight = FlightRecorder(limit=flight_limit)
 
     # ------------------------------------------------------------------ #
     # Phase timers
@@ -90,6 +111,7 @@ class RunContext:
         event = {"kind": kind, "t": float(t), **fields}
         with self._phase_lock:
             self.events.append(event)
+        self.flight.note(kind, t=t, **fields)
         if self.trace_events is not None:
             self.trace_events.append(
                 TraceEvent(rank=0, op=f"event:{kind}", t_start=t, t_end=t)
@@ -128,6 +150,10 @@ class RunContext:
                 shifted = dict(event)
                 shifted["t"] = event.get("t", 0.0) + clock_offset
                 self.events.append(shifted)
+        self.metrics.merge(other.metrics)
+        if self.router is not None and other.router is not None:
+            self.router.absorb(other.router)
+        self.flight.absorb(other.flight, clock_offset=clock_offset)
 
     # ------------------------------------------------------------------ #
     # Export
@@ -138,6 +164,11 @@ class RunContext:
         """Whether this run records TraceEvents."""
         return self.trace_events is not None
 
+    @property
+    def observing(self) -> bool:
+        """Whether this run carries a live metric registry."""
+        return self.metrics.enabled
+
     def summary(self) -> dict[str, Any]:
         """One nested dict of everything the context observed."""
         return {
@@ -146,6 +177,9 @@ class RunContext:
             "num_trace_events": len(self.trace_events) if self.tracing else 0,
             "num_events": len(self.events),
             "tracing": self.tracing,
+            "observing": self.observing,
+            "num_metric_series": len(self.metrics),
+            "num_router_samples": len(self.router) if self.router else 0,
         }
 
     def metrics_record(self) -> dict[str, Any]:

@@ -69,6 +69,7 @@ def run_spmd(
     kwargs: dict[str, Any] | None = None,
     pass_rng: bool = False,
     trace: bool = False,
+    observe: bool = False,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks.
 
@@ -90,6 +91,9 @@ def run_spmd(
         Optional :class:`~repro.simmpi.FaultPlan` (scripted) or
         :class:`~repro.simmpi.FaultModel` (seeded stochastic) for failure
         injection.
+    observe:
+        Give the run's :class:`~repro.simmpi.RunContext` a live metric
+        registry + router telemetry (default: the no-op registry).
 
     Returns
     -------
@@ -101,7 +105,8 @@ def run_spmd(
     if kwargs is None:
         kwargs = {}
 
-    world = _World(size=size, network=network, timeout=timeout, faults=faults, trace=trace)
+    world = _World(size=size, network=network, timeout=timeout, faults=faults,
+                   trace=trace, observe=observe)
     state = _CommState(world, list(range(size)))
 
     returns: list[Any] = [None] * size
@@ -153,8 +158,13 @@ def run_spmd(
         # Recovery drivers charge a crashed attempt's virtual time and
         # traffic to their goodput accounting even though no SpmdResult
         # is returned; ferry the partial observations on the exception.
+        # The flight dump rides along so fault / deadlock / overflow
+        # post-mortems carry every rank's last recorded operations.
         primary.partial_clocks = list(world.clocks)
         primary.partial_context = world.context
+        primary.flight_dump = world.context.flight.dump(
+            phases=world.context.phase_seconds
+        )
         raise primary
 
     return SpmdResult(

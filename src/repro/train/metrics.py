@@ -53,11 +53,16 @@ class LatencyStats:
         return float(np.mean(self._samples)) if self._samples else 0.0
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile, q in [0, 100]."""
+        """Linear-interpolated percentile, q in [0, 100].
+
+        An empty collector reports 0.0 — "no latency observed" — so
+        report generators and dashboards never trip over a run with zero
+        completions.
+        """
         if not 0 <= q <= 100:
             raise ConfigError(f"percentile must be in [0, 100], got {q}")
         if not self._samples:
-            raise ConfigError(f"no samples in LatencyStats({self.name!r})")
+            return 0.0
         return float(np.percentile(self._samples, q))
 
     def summary(self, prefix: str = "") -> dict[str, float]:
@@ -145,16 +150,17 @@ class MetricsLogger:
 
         ``events`` is an iterable of flat dicts as recorded by
         :meth:`~repro.simmpi.RunContext.record_event`. Event records have
-        heterogeneous keys, so this requires a JSONL sink (CSV headers are
-        fixed by the first record). Returns the number written.
+        heterogeneous keys, so writing any requires a JSONL sink (CSV
+        headers are fixed by the first record); an empty iterable is a
+        no-op on either sink. Returns the number written.
         """
-        if self._format != ".jsonl":
-            raise ConfigError(
-                "log_events needs a .jsonl sink; event records have "
-                "heterogeneous keys that a CSV header cannot hold"
-            )
         n = 0
         for event in events:
+            if self._format != ".jsonl":
+                raise ConfigError(
+                    "log_events needs a .jsonl sink; event records have "
+                    "heterogeneous keys that a CSV header cannot hold"
+                )
             record = dict(event)
             record.update(extra)
             self.log(record)

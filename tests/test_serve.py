@@ -424,8 +424,10 @@ class TestLatencyStats:
     def test_empty_and_invalid(self):
         s = LatencyStats()
         assert s.summary() == {"count": 0}
-        with pytest.raises(ConfigError):
-            s.percentile(50)
+        # Empty collectors report 0.0 instead of raising, so report
+        # generation survives runs with zero completions.
+        assert s.percentile(50) == 0.0
+        assert s.percentile(95) == 0.0
         with pytest.raises(ConfigError):
             s.add(-1.0)
         s.add(1.0)

@@ -5,8 +5,15 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import ConfigError
 from repro.network import flat_network
-from repro.simmpi import TraceEvent, run_spmd, to_chrome_trace, write_chrome_trace
+from repro.simmpi import (
+    RunContext,
+    TraceEvent,
+    run_spmd,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 
 def program(comm):
@@ -95,6 +102,39 @@ class TestChromeExport:
         blob = json.loads(path.read_text())
         assert "traceEvents" in blob
         assert len(blob["traceEvents"]) == 2
+
+    def test_empty_event_list(self, tmp_path):
+        """Zero events is a valid (if boring) trace, not an error."""
+        assert to_chrome_trace([]) == []
+        path = write_chrome_trace([], tmp_path / "empty.json")
+        blob = json.loads(path.read_text())
+        assert blob["traceEvents"] == []
+
+    def test_context_guard_when_untraced(self, tmp_path):
+        """An untraced context refuses to export and names the fix."""
+        ctx = RunContext(trace=False)
+        with pytest.raises(ConfigError, match="trace=True"):
+            ctx.write_chrome_trace(tmp_path / "never.json")
+
+    def test_absorb_shifts_trace_clock(self):
+        """Session aggregation lands absorbed events on the session
+        timeline: every timestamp shifted by clock_offset, bytes kept."""
+        session = RunContext(trace=True)
+        launch = RunContext(trace=True)
+        launch.trace_events.extend(self._events())
+        session.absorb(launch, clock_offset=10.0)
+        assert [e.t_start for e in session.trace_events] == [10.0, 10.0 + 1e-3]
+        assert [e.t_end for e in session.trace_events] == [10.0 + 1e-3, 10.0 + 2e-3]
+        assert session.trace_events[0].nbytes == 4096
+        assert session.trace_events[0].op == "allreduce"
+
+    def test_absorb_into_untraced_session_drops_events(self):
+        """An untraced session stays untraced; absorb must not crash."""
+        session = RunContext(trace=False)
+        launch = RunContext(trace=True)
+        launch.trace_events.extend(self._events())
+        session.absorb(launch, clock_offset=5.0)
+        assert session.trace_events is None
 
     def test_end_to_end_trace_of_training(self, tmp_path):
         """A full distributed training step produces a coherent trace."""
