@@ -58,9 +58,21 @@ from repro.serve import (
     run_serving,
 )
 
+# Auto-parallelism planner: layout search + verification + reports ---------
+from repro.plan import (
+    PlanCandidate,
+    PlannerConfig,
+    PlanResult,
+    build_plan_report,
+    generate_plan_report,
+    plan_layouts,
+    search_plans,
+    verify_plans,
+)
+
 # Simulated substrate -------------------------------------------------------
 from repro.hardware import sunway_machine
-from repro.network import sunway_network
+from repro.network import CLUSTER_PRESETS, ClusterPreset, cluster_preset, sunway_network
 from repro.simmpi import FaultModel, FaultPlan, FlakyLink, RunContext, run_spmd
 
 # Metrics -------------------------------------------------------------------
@@ -109,7 +121,19 @@ __all__ = [
     "ServeResult",
     "run_sequential_baseline",
     "run_serving",
+    # planner
+    "PlannerConfig",
+    "PlanCandidate",
+    "PlanResult",
+    "plan_layouts",
+    "search_plans",
+    "verify_plans",
+    "build_plan_report",
+    "generate_plan_report",
     # substrate
+    "CLUSTER_PRESETS",
+    "ClusterPreset",
+    "cluster_preset",
     "FaultModel",
     "FaultPlan",
     "FlakyLink",

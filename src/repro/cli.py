@@ -13,6 +13,10 @@ Commands
                 parallel ranks (``--requests/--arrival-rate/--ep/--slo-ms``)
 ``report``      render a run's JSONL metrics file into a deterministic
                 markdown run report (phases, comm, router, SLO)
+``plan``        auto-parallelism planner: enumerate every launchable
+                (dp, tp, pp, ep, zero) layout, rank analytically, verify
+                the top-k with short simulated runs, calibrate, and emit
+                a deterministic markdown plan report
 ``project``     brain-scale performance/memory projection
 ``configs``     print the model configuration table
 
@@ -213,6 +217,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the report here (default: stdout)")
     p_rep.add_argument("--title", default=None,
                        help="report title (default: derived from the file)")
+
+    from repro.network.presets import CLUSTER_PRESETS
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="search parallel layouts: enumerate, rank analytically, "
+             "verify the top-k with short simulated runs",
+    )
+    p_plan.add_argument("--config", choices=sorted(_CONFIGS), default="tiny")
+    p_plan.add_argument("--nodes", type=int, default=8)
+    p_plan.add_argument("--cluster", choices=sorted(CLUSTER_PRESETS),
+                        default="toy",
+                        help="cluster preset (network + machine models)")
+    p_plan.add_argument("--batch-size", type=int, default=4,
+                        help="sequences per rank per step")
+    p_plan.add_argument("--seq-len", type=int, default=16)
+    p_plan.add_argument("--microbatches", type=int, default=2,
+                        help="microbatches per step for pipeline candidates")
+    p_plan.add_argument("--experts", type=int, default=None,
+                        help="override the model's expert count")
+    p_plan.add_argument("--layers", type=int, default=None,
+                        help="override the model's layer count")
+    p_plan.add_argument("--moe-every", type=int, default=None,
+                        help="override MoE block spacing (2 = alternate "
+                             "dense/MoE, giving TP something to shard)")
+    p_plan.add_argument("--max-tp", type=int, default=8)
+    p_plan.add_argument("--max-zero", type=int, default=8)
+    p_plan.add_argument("--top-k", type=int, default=2,
+                        help="candidates to verify with measured runs")
+    p_plan.add_argument("--steps", type=int, default=2,
+                        help="training steps per verification run")
+    p_plan.add_argument("--verify", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="--no-verify skips the measured runs (ranking "
+                             "only)")
+    p_plan.add_argument("--out", default=None, metavar="OUT_MD",
+                        help="write the markdown plan report here")
+    p_plan.add_argument("--metrics", default=None,
+                        help="write typed planner records (JSONL)")
 
     p_proj = sub.add_parser("project", help="brain-scale projection")
     p_proj.add_argument("--model", choices=sorted(BRAIN_SCALE_CONFIGS), default="14.5T")
@@ -556,6 +599,76 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.plan import (
+        PlannerConfig,
+        generate_plan_report,
+        search_plans,
+        verify_plans,
+        write_plan_records,
+    )
+
+    cfg = _CONFIGS[args.config]()
+    overrides = {}
+    if args.experts is not None:
+        overrides["num_experts"] = args.experts
+    if args.layers is not None:
+        overrides["n_layers"] = args.layers
+    if args.moe_every is not None:
+        overrides["moe_every"] = args.moe_every
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+
+    planner = PlannerConfig(
+        model=cfg,
+        num_nodes=args.nodes,
+        cluster=args.cluster,
+        micro_batch=args.batch_size,
+        seq_len=args.seq_len,
+        num_microbatches=args.microbatches,
+        max_tp=args.max_tp,
+        max_zero=args.max_zero,
+    )
+    print(f"planning {cfg.name} on {args.nodes} '{args.cluster}' nodes "
+          f"(batch={args.batch_size}, seq={args.seq_len})")
+    result = search_plans(planner)
+    print(f"  {len(result.candidates)} launchable layouts, "
+          f"{len(result.rejected)} rejected")
+    if args.verify and result.candidates:
+        result = verify_plans(result, top_k=args.top_k, num_steps=args.steps)
+
+    for rank, cand in enumerate(result.candidates[:max(args.top_k, 5)], start=1):
+        print(f"  #{rank}: {cand.layout.describe()} [{cand.strategy}] "
+              f"-> {format_time(cand.predicted_step_time)}/step predicted")
+    for v in result.verified:
+        cal = ("" if v.calibrated_relative_error is None
+               else f", {v.calibrated_relative_error:.1%} calibrated")
+        print(f"  verified {v.candidate.layout.describe()}: measured "
+              f"{format_time(v.measured_step_time)}/step "
+              f"(error {v.relative_error:.1%}{cal})")
+    if result.calibration is not None:
+        print(f"  fitted compute efficiency: "
+              f"{result.calibration.efficiency:.3f}")
+    med = result.median_relative_error
+    if med is not None:
+        print(f"  median model-vs-measured error: {med:.1%}")
+    if result.candidates:
+        print(f"  best layout: {result.best.layout.describe()} "
+              f"[{result.best.strategy}]")
+
+    if args.out:
+        report = generate_plan_report(
+            result, out_path=args.out,
+            title=f"Plan report: {cfg.name} on {args.nodes} "
+                  f"{args.cluster} nodes",
+        )
+        print(f"  plan report: {args.out} ({len(report.splitlines())} lines)")
+    if args.metrics:
+        write_plan_records(result, args.metrics)
+        print(f"  planner records: {args.metrics}")
+    return 0
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.hardware import SUNWAY_NODE, sunway_machine
     from repro.network import sunway_network
@@ -610,6 +723,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "resilient": _cmd_resilient,
         "serve": _cmd_serve,
         "report": _cmd_report,
+        "plan": _cmd_plan,
         "project": _cmd_project,
         "configs": _cmd_configs,
     }

@@ -26,10 +26,14 @@ just outside it, and replica (data-parallel) groups span the remainder.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 
-__all__ = ["ParallelLayout"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.configs import ModelConfig
+
+__all__ = ["ParallelLayout", "validate_layout_for_model"]
 
 
 @dataclass(frozen=True)
@@ -113,4 +117,64 @@ class ParallelLayout:
             f"world={self.world_size}: pp={self.pp_size} x dp={self.dp_size} "
             f"x tp={self.tp_size} x ep={self.ep_size}"
             + (f", zero={self.zero_shards}" if self.zero_shards > 1 else "")
+        )
+
+
+def validate_layout_for_model(
+    layout: ParallelLayout,
+    model: "ModelConfig",
+    *,
+    expert_granularity: str = "layer",
+) -> None:
+    """Check that ``layout`` can host ``model`` — the one shared implementation.
+
+    Both sides of the stack call this: the measured runner (through
+    :meth:`~repro.parallel.strategy.ParallelStrategy.validate`) and the
+    analytic :meth:`~repro.perf.ParallelPlan.validate_against`, so a layout
+    rejected by one is rejected by the other with the identical
+    :class:`~repro.errors.ConfigError` message.
+
+    ``expert_granularity`` selects how experts are placed on the EP group:
+
+    * ``"layer"`` — every rank holds a slice of *every* MoE layer, so
+      ``ep_size`` must divide ``num_experts`` (the measured runner's
+      :class:`~repro.parallel.ep.DistributedMoELayer` contract);
+    * ``"instance"`` — the ``num_moe_layers * num_experts`` expert MLPs are
+      distributed as individual instances (BaGuaLu shards experts over the
+      whole machine, so a rank may own experts from only some layers), so
+      ``ep_size`` only needs to stay within the instance count.
+    """
+    if expert_granularity not in ("layer", "instance"):
+        raise ConfigError(
+            f"expert_granularity must be 'layer' or 'instance', "
+            f"got {expert_granularity!r}"
+        )
+    if expert_granularity == "layer":
+        if model.num_experts % layout.ep_size != 0:
+            raise ConfigError(
+                f"ep_size={layout.ep_size} must divide "
+                f"num_experts={model.num_experts}"
+            )
+    else:
+        instances = model.num_moe_layers * model.num_experts
+        if layout.ep_size > max(instances, 1):
+            raise ConfigError(
+                f"ep_size={layout.ep_size} exceeds total expert instances "
+                f"({instances}) — ranks would be idle"
+            )
+    if layout.tp_size > 1:
+        if model.d_ff % layout.tp_size != 0:
+            raise ConfigError(
+                f"tp_size={layout.tp_size} must divide d_ff={model.d_ff}"
+            )
+        if model.num_dense_ffn_layers == 0:
+            raise ConfigError(
+                "tp_size > 1 needs dense FFN blocks to shard; "
+                f"moe_every={model.moe_every} makes every block MoE "
+                "(use moe_every >= 2)"
+            )
+    if layout.pp_size > 1 and model.n_layers < layout.pp_size:
+        raise ConfigError(
+            f"cannot split {model.n_layers} layers into "
+            f"{layout.pp_size} pipeline stages"
         )

@@ -5,10 +5,13 @@ from repro.network.topology import Level, Topology
 from repro.network.costmodel import AlgorithmPolicy, NetworkModel
 from repro.network.presets import (
     CABINET_LINK,
+    CLUSTER_PRESETS,
     INTER_SUPERNODE_LINK,
     INTRA_SUPERNODE_LINK,
     SUPERNODE_SIZE,
+    ClusterPreset,
     cabinet_topology,
+    cluster_preset,
     flat_network,
     flat_topology,
     sunway_network,
@@ -26,6 +29,9 @@ __all__ = [
     "INTRA_SUPERNODE_LINK",
     "INTER_SUPERNODE_LINK",
     "CABINET_LINK",
+    "ClusterPreset",
+    "CLUSTER_PRESETS",
+    "cluster_preset",
     "cabinet_topology",
     "flat_network",
     "flat_topology",

@@ -9,11 +9,17 @@ benchmarks reproduce.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
 from repro.errors import TopologyError
 from repro.network.costmodel import AlgorithmPolicy, NetworkModel
 from repro.network.links import LinkSpec
 from repro.network.topology import Level, Topology
 from repro.utils.mathx import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.specs import MachineSpec
 
 __all__ = [
     "sunway_topology",
@@ -23,6 +29,9 @@ __all__ = [
     "two_level_topology",
     "cabinet_topology",
     "CABINET_LINK",
+    "ClusterPreset",
+    "CLUSTER_PRESETS",
+    "cluster_preset",
 ]
 
 #: Nodes per Sunway supernode.
@@ -139,3 +148,79 @@ def two_level_topology(
             Level("group", num_groups, inter or INTER_SUPERNODE_LINK),
         ]
     )
+
+
+# ---------------------------------------------------------------------- #
+# Cluster presets: one shared (network, machine) table
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ClusterPreset:
+    """One named cluster: how to build its network and machine models.
+
+    The single source of (network builder, machine builder) pairs shared by
+    the perf sweeps, the layout planner, and the CLI — replacing the
+    per-module hardcoded default builders that used to drift.
+    """
+
+    name: str
+    description: str
+    #: ``num_nodes -> NetworkModel`` for the interconnect cost model.
+    network: Callable[[int], NetworkModel]
+    #: ``num_nodes -> MachineSpec`` for the node compute/memory model.
+    machine: "Callable[[int], MachineSpec]"
+
+
+def _sunway_machine(num_nodes: int) -> "MachineSpec":
+    from repro.hardware.specs import sunway_machine
+
+    return sunway_machine(num_nodes)
+
+
+def _laptop_machine(num_nodes: int) -> "MachineSpec":
+    from repro.hardware.specs import laptop_machine
+
+    return laptop_machine(num_nodes)
+
+
+def _toy_network(num_nodes: int) -> NetworkModel:
+    # Four-node supernodes keep the hierarchy visible at test-sized worlds.
+    return sunway_network(num_nodes, supernode_size=4)
+
+
+#: The shared preset table (keys are the CLI ``--cluster`` choices).
+CLUSTER_PRESETS: dict[str, ClusterPreset] = {
+    "sunway": ClusterPreset(
+        name="sunway",
+        description="Sunway-like machine: 256-node supernodes over a "
+                    "tapered optical fat-tree, SW26010-Pro-class nodes",
+        network=sunway_network,
+        machine=_sunway_machine,
+    ),
+    "flat": ClusterPreset(
+        name="flat",
+        description="Uniform single-level cluster (the non-topology-aware "
+                    "baseline) with Sunway-class nodes",
+        network=flat_network,
+        machine=_sunway_machine,
+    ),
+    "toy": ClusterPreset(
+        name="toy",
+        description="Test-scale cluster: laptop-class nodes on 4-node "
+                    "supernodes — compute-dominated, so measured virtual "
+                    "step times track the analytic model closely",
+        network=_toy_network,
+        machine=_laptop_machine,
+    ),
+}
+
+
+def cluster_preset(name: str) -> ClusterPreset:
+    """Look up a preset by name; raises with the known names on a miss."""
+    try:
+        return CLUSTER_PRESETS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown cluster preset {name!r}; known: {sorted(CLUSTER_PRESETS)}"
+        ) from None

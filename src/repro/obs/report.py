@@ -25,18 +25,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.costmodel import NetworkModel
     from repro.simmpi.context import RunContext
 
-__all__ = ["collect_run_records", "build_report", "generate_run_report"]
+__all__ = [
+    "collect_run_records",
+    "build_report",
+    "generate_run_report",
+    "fmt_scalar",
+    "kv_table",
+]
 
 _HEAT_RAMP = " .:-=+*#%@"
 
 
-def _fmt(value: Any) -> str:
-    """One fixed rendering for every scalar (byte-stable across runs)."""
+def fmt_scalar(value: Any) -> str:
+    """One fixed rendering for every scalar (byte-stable across runs).
+
+    Shared by every deterministic markdown report (run reports here, plan
+    reports in :mod:`repro.plan.report`): floats always render through one
+    format so two same-seed runs produce byte-identical documents.
+    """
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
+
+
+_fmt = fmt_scalar
 
 
 def collect_run_records(
@@ -70,10 +84,14 @@ def collect_run_records(
 # ---------------------------------------------------------------------- #
 
 
-def _kv_table(rows: Iterable[tuple[str, Any]]) -> list[str]:
+def kv_table(rows: Iterable[tuple[str, Any]]) -> list[str]:
+    """Markdown key/value table lines (scalars through :func:`fmt_scalar`)."""
     lines = ["| key | value |", "| --- | --- |"]
     lines += [f"| {k} | {_fmt(v)} |" for k, v in rows]
     return lines
+
+
+_kv_table = kv_table
 
 
 def _section_summary(records: list[dict]) -> list[str]:

@@ -34,7 +34,7 @@ import numpy as np
 from repro.amp import DynamicLossScaler, cast_model
 from repro.data import ShardedLoader, SyntheticCorpus
 from repro.errors import ConfigError
-from repro.layout import ParallelLayout
+from repro.layout import ParallelLayout, validate_layout_for_model
 from repro.models.configs import ModelConfig
 from repro.models.transformer import MoELanguageModel
 from repro.parallel.ep import DistributedMoELayer
@@ -334,13 +334,16 @@ class ParallelStrategy(ABC):
         """Raise ConfigError unless ``layout`` fits this strategy."""
 
     def validate(self, cfg: "TrainingRunConfig") -> None:
-        """Fail fast (driver-side) on an incompatible config."""
+        """Fail fast (driver-side) on an incompatible config.
+
+        Axis constraints come from :meth:`check_layout`; the layout-vs-model
+        constraints (EP/TP/PP divisibility against the model's shape) come
+        from the shared :func:`~repro.layout.validate_layout_for_model`, so
+        the measured runner and the analytic planner reject identical
+        layouts with identical messages.
+        """
         self.check_layout(cfg.layout)
-        if cfg.model.num_experts % cfg.layout.ep_size != 0:
-            raise ConfigError(
-                f"ep_size={cfg.layout.ep_size} must divide "
-                f"num_experts={cfg.model.num_experts}"
-            )
+        validate_layout_for_model(cfg.layout, cfg.model)
 
     @abstractmethod
     def build(
@@ -354,7 +357,9 @@ class ParallelStrategy(ABC):
     def _timer(cfg: "TrainingRunConfig", machine) -> ComputeTimer | None:
         if machine is None or not cfg.model_compute_time:
             return None
-        return ComputeTimer(cfg.model, machine, cfg.seq_len)
+        return ComputeTimer(
+            cfg.model, machine, cfg.seq_len, tp_size=cfg.layout.tp_size
+        )
 
     @staticmethod
     def _scaler(cfg: "TrainingRunConfig", model) -> DynamicLossScaler | None:
@@ -551,10 +556,6 @@ class TensorParallelStrategy(_PlaneStrategy):
         if layout.ep_size != 1 or layout.pp_size != 1 or layout.zero_shards != 1:
             raise ConfigError(f"tp wants ep=pp=zero=1, got {layout.describe()}")
 
-    def validate(self, cfg) -> None:
-        super().validate(cfg)
-        _validate_tp_model(cfg.model, cfg.layout.tp_size)
-
 
 class TensorExpertStrategy(_PlaneStrategy):
     """Composite TP x EP: sharded dense MLPs and sharded experts."""
@@ -569,10 +570,6 @@ class TensorExpertStrategy(_PlaneStrategy):
             )
         if layout.pp_size != 1 or layout.zero_shards != 1:
             raise ConfigError(f"tp_ep wants pp=zero=1, got {layout.describe()}")
-
-    def validate(self, cfg) -> None:
-        super().validate(cfg)
-        _validate_tp_model(cfg.model, cfg.layout.tp_size)
 
 
 class ZeroStrategy(_PlaneStrategy):
@@ -590,22 +587,6 @@ class ZeroStrategy(_PlaneStrategy):
             )
         if layout.tp_size != 1 or layout.pp_size != 1:
             raise ConfigError(f"zero wants tp=pp=1, got {layout.describe()}")
-
-
-def _validate_tp_model(model: ModelConfig, tp_size: int) -> None:
-    """TP shards dense FFN blocks; the model must have some and they
-    must slice evenly."""
-    if model.d_ff % tp_size != 0:
-        raise ConfigError(f"tp_size={tp_size} must divide d_ff={model.d_ff}")
-    dense_blocks = sum(
-        1 for i in range(model.n_layers) if (i + 1) % model.moe_every != 0
-    )
-    if dense_blocks == 0:
-        raise ConfigError(
-            "tp_size > 1 needs dense FFN blocks to shard; "
-            f"moe_every={model.moe_every} makes every block MoE "
-            "(use moe_every >= 2)"
-        )
 
 
 # ---------------------------------------------------------------------- #
@@ -654,11 +635,6 @@ class _PipelineBase(ParallelStrategy):
         if layout.tp_size != 1:
             raise ConfigError(
                 f"pipeline strategies do not compose with tp yet, got {layout.describe()}"
-            )
-        if cfg.model.n_layers < layout.pp_size:
-            raise ConfigError(
-                f"cannot split {cfg.model.n_layers} layers into "
-                f"{layout.pp_size} pipeline stages"
             )
         if cfg.num_microbatches < 1 or cfg.batch_size % cfg.num_microbatches != 0:
             raise ConfigError(

@@ -73,11 +73,14 @@ def calibrate_efficiency(
             "calibrate against a non-overlapped plan (overlap=0); the "
             "closed-form fit assumes exposed communication"
         )
-    # Communication does not depend on the efficiency scalar.
+    # Communication does not depend on the efficiency scalar. The GPipe
+    # bubble is idle time proportional to per-stage compute, so it scales
+    # with 1/efficiency exactly like the compute terms and belongs on the
+    # fitted side of the split.
     probe = replace(machine, compute_efficiency=1.0)
     bd = StepModel(config, probe, network).step_breakdown(plan)
     comm = bd.communication
-    compute_at_full = bd.compute
+    compute_at_full = bd.compute + bd.pipeline_bubble
     if measured_step_time <= comm:
         raise ConfigError(
             f"measured step time {measured_step_time:.4g}s is at or below "

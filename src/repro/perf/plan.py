@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.layout import ParallelLayout
+from repro.layout import ParallelLayout, validate_layout_for_model
 from repro.models.configs import ModelConfig
 
 __all__ = ["ParallelPlan"]
@@ -60,6 +60,9 @@ class ParallelPlan:
     tp_size: int = 1
     #: Pipeline stages (analytic side of the pipeline strategies).
     pp_size: int = 1
+    #: Microbatches per step for pipeline plans (sets the GPipe bubble
+    #: fraction ``(pp - 1) / num_microbatches``); irrelevant when pp=1.
+    num_microbatches: int = 1
 
     def __post_init__(self) -> None:
         # Divisibility across every parallel axis is validated by the same
@@ -68,6 +71,10 @@ class ParallelPlan:
         _ = self.layout
         if self.micro_batch < 1 or self.seq_len < 1:
             raise ConfigError("micro_batch and seq_len must be >= 1")
+        if self.num_microbatches < 1:
+            raise ConfigError(
+                f"num_microbatches must be >= 1, got {self.num_microbatches}"
+            )
         if self.load_imbalance < 1.0:
             raise ConfigError(
                 f"load_imbalance must be >= 1, got {self.load_imbalance}"
@@ -96,23 +103,31 @@ class ParallelPlan:
 
     @property
     def global_tokens(self) -> int:
-        """Tokens consumed machine-wide per step."""
-        return self.tokens_per_rank * self.num_nodes
+        """Tokens consumed machine-wide per step.
+
+        Counts distinct data streams: TP peers consume the same shard and
+        a pipeline's stages jointly process one stream, so the machine
+        consumes ``world / (tp * pp)`` streams of ``tokens_per_rank`` each
+        (equal to ``num_nodes`` streams for in-plane single-axis plans).
+        """
+        return self.tokens_per_rank * self.layout.data_streams
 
     def validate_against(self, config: ModelConfig) -> None:
         """Check the plan is compatible with a model config.
 
-        Experts are placed at *instance* granularity: the
+        Delegates the layout-vs-model checks to the shared
+        :func:`~repro.layout.validate_layout_for_model` (the same
+        implementation the measured runner dispatches through), with
+        experts placed at *instance* granularity: the
         ``num_moe_layers * num_experts`` expert MLPs of the model are
         distributed over the EP group (BaGuaLu shards its experts over the
         whole machine, so a rank may own experts from only some layers).
+        The only plan-specific check left here is ``seq_len``, which the
+        layout does not carry.
         """
-        instances = config.num_moe_layers * config.num_experts
-        if self.ep_size > max(instances, 1):
-            raise ConfigError(
-                f"ep_size={self.ep_size} exceeds total expert instances "
-                f"({instances}) — ranks would be idle"
-            )
+        validate_layout_for_model(
+            self.layout, config, expert_granularity="instance"
+        )
         if self.seq_len > config.max_seq_len:
             raise ConfigError(
                 f"plan seq_len={self.seq_len} exceeds model "

@@ -8,12 +8,23 @@ construction — validated by a calibration test.
 
 Phases per training step (synchronous, conservatively non-overlapped):
 
-* dense compute: forward+backward matmul time on the node roofline;
+* dense compute: forward+backward matmul time on the node roofline, split
+  over pipeline stages and (for the dense-FFN share) over the TP group;
 * expert compute: routed-row MLP time, scaled by the gate's load-imbalance
   factor (the slowest expert paces the group);
 * token alltoall: 2 exchanges forward + 2 backward per MoE layer;
-* dense-gradient allreduce over the world;
-* expert-gradient allreduce over the expert-data-parallel group.
+* dense-gradient allreduce over the stage plane (TP-sharded FFN gradients
+  sync separately over the same-shard group);
+* expert-gradient allreduce over the expert-data-parallel group;
+* TP activation allreduces (2 per sharded dense-FFN block, fwd + bwd);
+* ZeRO-1 allgather of the updated fp32 master shards;
+* pipeline p2p activation/grad transfers between adjacent stages;
+* pipeline bubble: the GPipe fill/drain idle time,
+  ``(pp - 1) / num_microbatches`` of the per-stage compute.
+
+Every term maps onto :func:`~repro.obs.comm.profile_comm`'s op taxonomy via
+:meth:`StepBreakdown.comm_by_op`, so a projected step and a measured comm
+profile decompose along the same axes.
 """
 
 from __future__ import annotations
@@ -33,13 +44,25 @@ __all__ = ["StepBreakdown", "StepModel", "ComputeTimer"]
 
 @dataclass(frozen=True)
 class StepBreakdown:
-    """Seconds per step, by phase."""
+    """Seconds per step, by phase.
+
+    The classic MoDa terms are always present; the TP / ZeRO / pipeline
+    terms default to zero so single-axis plans read exactly as before.
+    """
 
     dense_compute: float
     expert_compute: float
     alltoall: float
     dense_allreduce: float
     expert_allreduce: float
+    #: Activation allreduces over the TP group (2 per sharded FFN block).
+    tp_allreduce: float = 0.0
+    #: ZeRO-1 allgather of updated fp32 master shards over the ZeRO group.
+    zero_allgather: float = 0.0
+    #: GPipe activation/gradient sends between adjacent pipeline stages.
+    pipeline_p2p: float = 0.0
+    #: GPipe fill/drain idle time; scales with compute, not bandwidth.
+    pipeline_bubble: float = 0.0
 
     @property
     def compute(self) -> float:
@@ -47,11 +70,18 @@ class StepBreakdown:
 
     @property
     def communication(self) -> float:
-        return self.alltoall + self.dense_allreduce + self.expert_allreduce
+        return (
+            self.alltoall
+            + self.dense_allreduce
+            + self.expert_allreduce
+            + self.tp_allreduce
+            + self.zero_allgather
+            + self.pipeline_p2p
+        )
 
     @property
     def total(self) -> float:
-        return self.compute + self.communication
+        return self.compute + self.communication + self.pipeline_bubble
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -60,7 +90,27 @@ class StepBreakdown:
             "alltoall": self.alltoall,
             "dense_allreduce": self.dense_allreduce,
             "expert_allreduce": self.expert_allreduce,
+            "tp_allreduce": self.tp_allreduce,
+            "zero_allgather": self.zero_allgather,
+            "pipeline_p2p": self.pipeline_p2p,
+            "pipeline_bubble": self.pipeline_bubble,
             "total": self.total,
+        }
+
+    def comm_by_op(self) -> dict[str, float]:
+        """Communication seconds keyed by ``profile_comm``'s op taxonomy.
+
+        The same names a measured run's comm profile reports (``alltoall``,
+        ``allreduce``, ``allgather``, ``p2p``), so projected and measured
+        communication decompose along identical axes.
+        """
+        return {
+            "alltoall": self.alltoall,
+            "allreduce": (
+                self.dense_allreduce + self.expert_allreduce + self.tp_allreduce
+            ),
+            "allgather": self.zero_allgather,
+            "p2p": self.pipeline_p2p,
         }
 
 
@@ -71,18 +121,36 @@ class ComputeTimer:
     estimates, so small-scale measured runs include modelled compute on the
     same machine spec the analytic :class:`StepModel` uses — keeping
     measured and projected scaling curves consistent.
+
+    ``tp_size`` discounts the dense-FFN share of the per-token FLOPs (the
+    Megatron-sharded matmuls); the pipeline split is applied by the
+    pipeline trainers themselves (each stage advances ``1/pp`` of the
+    dense step time).
     """
 
-    def __init__(self, config: ModelConfig, machine: MachineSpec, seq_len: int):
+    def __init__(
+        self,
+        config: ModelConfig,
+        machine: MachineSpec,
+        seq_len: int,
+        tp_size: int = 1,
+    ):
+        if tp_size < 1:
+            raise ConfigError(f"tp_size must be >= 1, got {tp_size}")
         self.config = config
         self.machine = machine
         self.seq_len = seq_len
+        self.tp_size = tp_size
         self._node_flops = (
             machine.node.flops(config.dtype) * machine.compute_efficiency
         )
         expert_fwd = config.top_k * 2.0 * config.ffn_expert_params * config.num_moe_layers
+        dense_fwd = forward_flops_per_token(config, seq_len) - expert_fwd
+        # TP shards the dense-FFN matmuls (2 FLOPs/param fwd); everything
+        # else (attention, LN, embeddings, routers) stays replicated.
+        sharded_fwd = 2.0 * config.dense_ffn_params
         self._dense_fwd_per_token = (
-            forward_flops_per_token(config, seq_len) - expert_fwd
+            dense_fwd - sharded_fwd + sharded_fwd / tp_size
         )
         #: forward FLOPs for one routed row through one expert MLP.
         self._expert_fwd_per_row = 2.0 * config.ffn_expert_params
@@ -99,7 +167,12 @@ class ComputeTimer:
 
 
 class StepModel:
-    """Bind (model config, machine, network) and evaluate plans."""
+    """Bind (model config, machine, network) and evaluate plans.
+
+    Every registered strategy is priceable: plans may set any combination
+    of ``ep_size`` / ``tp_size`` / ``pp_size`` / ``zero_shards`` and each
+    axis contributes its own :class:`StepBreakdown` term.
+    """
 
     def __init__(self, config: ModelConfig, machine: MachineSpec, network: NetworkModel):
         self.config = config
@@ -114,15 +187,22 @@ class StepModel:
         return self.machine.node.flops(self.config.dtype) * self.machine.compute_efficiency
 
     def dense_compute_time(self, plan: ParallelPlan) -> float:
-        """Per-node attention/backbone/router compute (fwd + bwd)."""
+        """Per-node attention/backbone/router compute (fwd + bwd).
+
+        The stage holds ``1/pp`` of the layers; the TP group shards the
+        dense-FFN matmul share ``1/tp``-ways.
+        """
         cfg = self.config
         # Dense forward FLOPs/token = everything except the expert MLPs.
         expert_flops = (
             cfg.num_moe_layers * cfg.top_k * 2.0 * cfg.ffn_expert_params
         )
         dense_fwd = forward_flops_per_token(cfg, plan.seq_len) - expert_flops
+        if plan.tp_size > 1:
+            sharded = 2.0 * cfg.dense_ffn_params
+            dense_fwd = dense_fwd - sharded + sharded / plan.tp_size
         multiplier = 1.0 + BACKWARD_MULTIPLIER + (1.0 if plan.recompute else 0.0)
-        total = plan.tokens_per_rank * dense_fwd * multiplier
+        total = plan.tokens_per_rank * dense_fwd * multiplier / plan.pp_size
         return total / self._node_flops()
 
     def expert_compute_time(self, plan: ParallelPlan) -> float:
@@ -131,8 +211,9 @@ class StepModel:
         # Rows hitting this node's experts per step under uniform routing:
         # every rank contributes tokens*top_k slots spread over ep_size.
         rows = plan.tokens_per_rank * cfg.top_k  # group-total = rows*ep_size,
-        # per-node share is rows (uniform); imbalance scales the critical path.
-        flops = rows * cfg.num_moe_layers * 2.0 * cfg.ffn_expert_params
+        # per-node share is rows (uniform); imbalance scales the critical
+        # path, and a stage sees only its 1/pp share of the MoE layers.
+        flops = rows * cfg.num_moe_layers * 2.0 * cfg.ffn_expert_params / plan.pp_size
         flops *= (1.0 + BACKWARD_MULTIPLIER) * plan.load_imbalance
         return flops / self._node_flops()
 
@@ -148,36 +229,114 @@ class StepModel:
         ) * plan.load_imbalance
         ranks = list(range(plan.ep_size))  # EP groups are consecutive ranks
         one = self.network.alltoall_time(per_pair, ranks, algorithm=plan.alltoall)
-        return 4.0 * cfg.num_moe_layers * one
+        # A stage owns 1/pp of the MoE layers.
+        return 4.0 * cfg.num_moe_layers * one / plan.pp_size
 
-    def dense_allreduce_time(self, plan: ParallelPlan) -> float:
-        """World-wide gradient allreduce of replicated parameters (fp32)."""
-        if plan.num_nodes == 1:
-            return 0.0
+    def _dense_param_count(self) -> float:
         cfg = self.config
-        dense_count = (
+        return (
             cfg.attention_params
             + cfg.dense_ffn_params
             + cfg.layernorm_params
             + cfg.embedding_params
             + cfg.num_moe_layers * cfg.d_model * cfg.num_experts
         )
-        nbytes = dense_count * 4
-        ranks = list(range(plan.num_nodes))
+
+    def dense_allreduce_time(self, plan: ParallelPlan) -> float:
+        """Per-stage gradient allreduce of replicated parameters (fp32).
+
+        With ``pp > 1`` each stage syncs its own ``1/pp`` parameter slice
+        over its plane; with ``tp > 1`` the TP-sharded dense-FFN gradients
+        are excluded here and priced by :meth:`tp_grad_allreduce_time`.
+        """
+        layout = plan.layout
+        if layout.plane_size == 1:
+            return 0.0
+        cfg = self.config
+        dense_count = self._dense_param_count()
+        if plan.tp_size > 1:
+            dense_count -= cfg.dense_ffn_params
+        nbytes = dense_count * 4 / plan.pp_size
+        ranks = list(range(layout.plane_size))
         return self.network.allreduce_time(nbytes, ranks, algorithm=plan.allreduce)
+
+    def tp_grad_allreduce_time(self, plan: ParallelPlan) -> float:
+        """TP-sharded FFN gradients allreduced over the same-shard group."""
+        layout = plan.layout
+        if plan.tp_size == 1:
+            return 0.0
+        tpdp = [r for r in range(layout.plane_size) if layout.tp_rank_of(r) == 0]
+        if len(tpdp) < 2:
+            return 0.0
+        nbytes = (
+            self.config.dense_ffn_params / plan.tp_size * 4 / plan.pp_size
+        )
+        return self.network.allreduce_time(nbytes, tpdp, algorithm=plan.allreduce)
+
+    def tp_activation_allreduce_time(self, plan: ParallelPlan) -> float:
+        """Megatron activation allreduces: 2 per sharded FFN block (fwd+bwd)."""
+        cfg = self.config
+        if plan.tp_size == 1 or cfg.num_dense_ffn_layers == 0:
+            return 0.0
+        nbytes = plan.tokens_per_rank * cfg.d_model * itemsize(cfg.dtype)
+        # TP peers sit at stride ep_size (EP is the innermost axis).
+        ranks = [i * plan.ep_size for i in range(plan.tp_size)]
+        one = self.network.allreduce_time(nbytes, ranks, algorithm=plan.allreduce)
+        blocks = cfg.num_dense_ffn_layers / plan.pp_size
+        return 2.0 * blocks * one
 
     def expert_allreduce_time(self, plan: ParallelPlan) -> float:
         """Expert-gradient allreduce across EP-group replicas (fp32)."""
-        if plan.num_ep_groups == 1:
+        layout = plan.layout
+        if layout.num_ep_groups == 1:
             return 0.0
         cfg = self.config
         total_expert_params = (
             cfg.num_moe_layers * cfg.num_experts * cfg.ffn_expert_params
         )
-        nbytes = total_expert_params / plan.ep_size * 4
+        nbytes = total_expert_params / plan.ep_size * 4 / plan.pp_size
         # EDP peers: same EP position in every group -> stride ep_size.
-        ranks = list(range(0, plan.num_nodes, plan.ep_size))
+        ranks = list(range(0, layout.plane_size, plan.ep_size))
         return self.network.allreduce_time(nbytes, ranks, algorithm=plan.allreduce)
+
+    def zero_allgather_time(self, plan: ParallelPlan) -> float:
+        """ZeRO-1: allgather of the updated fp32 master shards.
+
+        Mirrors :class:`~repro.parallel.zero.ZeroAdamW`: each rank updates
+        its ``1/zero_shards`` slice of the replicated (dense) parameters in
+        fp32 and allgathers the result over the (consecutive-rank) ZeRO
+        group every step.
+        """
+        if plan.zero_shards == 1:
+            return 0.0
+        nbytes_per_rank = self._dense_param_count() * 4 / plan.zero_shards
+        ranks = list(range(plan.zero_shards))
+        return self.network.allgather_time(nbytes_per_rank, ranks)
+
+    def pipeline_p2p_time(self, plan: ParallelPlan) -> float:
+        """GPipe stage-boundary transfers: per microbatch, one activation
+        send forward and one gradient send backward per adjacent pair."""
+        layout = plan.layout
+        if plan.pp_size == 1:
+            return 0.0
+        cfg = self.config
+        micro_tokens = plan.tokens_per_rank / plan.num_microbatches
+        nbytes = micro_tokens * cfg.d_model * itemsize(cfg.dtype)
+        # Adjacent stages are plane_size ranks apart in the world order.
+        one = self.network.p2p_time(nbytes, 0, layout.plane_size)
+        return 2.0 * plan.num_microbatches * one
+
+    def pipeline_bubble_time(self, plan: ParallelPlan) -> float:
+        """GPipe fill/drain idle time: ``(pp-1)/m`` of the stage compute.
+
+        The classic bubble fraction ``(pp-1)/(m+pp-1)`` of the pipelined
+        makespan equals ``(pp-1)/m`` of the useful per-stage compute, which
+        is the form that composes additively with the other terms.
+        """
+        if plan.pp_size == 1:
+            return 0.0
+        stage_compute = self.dense_compute_time(plan) + self.expert_compute_time(plan)
+        return (plan.pp_size - 1) / plan.num_microbatches * stage_compute
 
     # ------------------------------------------------------------------ #
     # Aggregates
@@ -197,14 +356,22 @@ class StepModel:
             alltoall=self.alltoall_time(plan),
             dense_allreduce=self.dense_allreduce_time(plan),
             expert_allreduce=self.expert_allreduce_time(plan),
+            tp_allreduce=(
+                self.tp_activation_allreduce_time(plan)
+                + self.tp_grad_allreduce_time(plan)
+            ),
+            zero_allgather=self.zero_allgather_time(plan),
+            pipeline_p2p=self.pipeline_p2p_time(plan),
+            pipeline_bubble=self.pipeline_bubble_time(plan),
         )
 
     def step_time(self, plan: ParallelPlan) -> float:
         """Seconds per training step.
 
         ``plan.overlap`` hides that fraction of the gradient-sync
-        communication behind backward compute (the token alltoalls are on
-        the critical path and never overlap).
+        communication behind backward compute (the token alltoalls and the
+        TP activation exchanges are on the critical path and never
+        overlap).
         """
         bd = self.step_breakdown(plan)
         sync = bd.dense_allreduce + bd.expert_allreduce

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.train",
     "repro.data",
     "repro.perf",
+    "repro.plan",
     "repro.resilience",
     "repro.serve",
     "repro.cli",
