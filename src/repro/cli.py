@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--alltoall", choices=["flat", "hierarchical"], default=None)
     p_dist.add_argument("--allreduce", choices=["ring", "tree", "hierarchical"],
                         default=None)
+    p_dist.add_argument("--overlap-chunks", type=int, default=1,
+                        help="comm/compute overlap width: >1 pipelines "
+                             "expert dispatch in chunks and overlaps the "
+                             "gradient allreduce with backward compute "
+                             "(bitwise-identical losses)")
     p_dist.add_argument("--fp16", action="store_true")
     p_dist.add_argument("--seed", type=int, default=0)
     p_dist.add_argument("--metrics", default=None)
@@ -190,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(inference-side capacity; drops overflow)")
     p_srv.add_argument("--alltoall", choices=["flat", "hierarchical"],
                        default=None)
+    p_srv.add_argument("--overlap-chunks", type=int, default=1,
+                        help="chunked async expert dispatch width for "
+                             "decode alltoalls (>1 overlaps dispatch with "
+                             "expert compute)")
     p_srv.add_argument("--supernode", type=int, default=256)
     p_srv.add_argument("--sample", action="store_true",
                        help="sample instead of greedy decoding")
@@ -244,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "dense/MoE, giving TP something to shard)")
     p_plan.add_argument("--max-tp", type=int, default=8)
     p_plan.add_argument("--max-zero", type=int, default=8)
+    p_plan.add_argument("--overlap-chunks", type=int, default=1,
+                        help="price candidates with this comm/compute "
+                             "overlap width (pipeline layouts stay at 1)")
     p_plan.add_argument("--top-k", type=int, default=2,
                         help="candidates to verify with measured runs")
     p_plan.add_argument("--steps", type=int, default=2,
@@ -344,6 +356,7 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         pp_size=args.pp,
         zero_shards=args.zero,
         num_microbatches=args.microbatches,
+        overlap_chunks=args.overlap_chunks,
         strategy=args.strategy,
         trace=args.trace is not None,
         observe=args.observe,
@@ -532,6 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         expert_capacity=args.expert_capacity,
         alltoall_algorithm=args.alltoall,
+        overlap_chunks=args.overlap_chunks,
         supernode_size=args.supernode,
         trace=args.trace is not None,
         observe=args.observe,
@@ -628,9 +642,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         num_microbatches=args.microbatches,
         max_tp=args.max_tp,
         max_zero=args.max_zero,
+        overlap_chunks=args.overlap_chunks,
     )
     print(f"planning {cfg.name} on {args.nodes} '{args.cluster}' nodes "
-          f"(batch={args.batch_size}, seq={args.seq_len})")
+          f"(batch={args.batch_size}, seq={args.seq_len}"
+          + (f", overlap_chunks={args.overlap_chunks}"
+             if args.overlap_chunks > 1 else "")
+          + ")")
     result = search_plans(planner)
     print(f"  {len(result.candidates)} launchable layouts, "
           f"{len(result.rejected)} rejected")

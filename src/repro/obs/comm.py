@@ -40,6 +40,11 @@ _COLLECTIVE_KINDS = {
     "alltoall": "alltoall",
     "split": "barrier",
     "split-alloc": "barrier",
+    # Nonblocking variants price identically; their recorded seconds are
+    # the *exposed* remainder, with the hidden part carried separately.
+    "ialltoall": "alltoall",
+    "iallreduce": "allreduce",
+    "iallgather": "allgather",
 }
 
 
@@ -53,9 +58,13 @@ class CommRecord:
     calls: int
     nbytes: int
     #: Recorded virtual seconds inside the op (includes rendezvous wait).
+    #: For nonblocking ops this is the *exposed* cost — what actually
+    #: stalled the rank at ``wait()``.
     seconds: float
     #: Cost-model seconds for the same calls (None when unpriceable).
     model_seconds: float | None
+    #: Seconds of network cost hidden behind compute (nonblocking ops).
+    hidden_seconds: float = 0.0
 
     @property
     def bandwidth(self) -> float:
@@ -133,6 +142,7 @@ class CommProfile:
                     nbytes=sum(r.nbytes for r in group),
                     seconds=max(r.seconds for r in group),
                     model_seconds=max(models) if models else None,
+                    hidden_seconds=max(r.hidden_seconds for r in group),
                 )
             )
         return out
@@ -149,6 +159,7 @@ class CommProfile:
                 "bandwidth": r.bandwidth,
                 "model_seconds": -1.0 if r.model_seconds is None else r.model_seconds,
                 "utilization": -1.0 if r.utilization is None else r.utilization,
+                "hidden_seconds": r.hidden_seconds,
             }
             for r in self._records
         ]
@@ -161,12 +172,15 @@ class CommProfile:
             registry.gauge("comm_seconds", op=r.op).set(r.seconds)
             if r.utilization is not None:
                 registry.gauge("comm_utilization", op=r.op).set(r.utilization)
+            if r.hidden_seconds > 0:
+                registry.gauge("comm_overlapped_seconds", op=r.op).set(r.hidden_seconds)
+                registry.gauge("comm_exposed_seconds", op=r.op).set(r.seconds)
 
     def format_table(self) -> str:
         """Fixed-width per-op table (deterministic, report-ready)."""
         header = (
             f"{'op':<16} {'calls':>7} {'MiB':>10} {'seconds':>10} "
-            f"{'GiB/s':>8} {'model_s':>10} {'util':>6}"
+            f"{'GiB/s':>8} {'model_s':>10} {'util':>6} {'hidden_s':>10}"
         )
         lines = [header, "-" * len(header)]
         for r in self.per_op():
@@ -174,7 +188,8 @@ class CommProfile:
             util = f"{r.utilization:6.2f}" if r.utilization is not None else f"{'-':>6}"
             lines.append(
                 f"{r.op:<16} {r.calls:>7} {r.nbytes / 2**20:>10.3f} "
-                f"{r.seconds:>10.4f} {r.bandwidth / 2**30:>8.3f} {model} {util}"
+                f"{r.seconds:>10.4f} {r.bandwidth / 2**30:>8.3f} {model} {util} "
+                f"{r.hidden_seconds:>10.4f}"
             )
         return "\n".join(lines)
 
@@ -216,6 +231,7 @@ def profile_comm(
                     nbytes=sum(e.nbytes for e in events),
                     seconds=sum(e.t_end - e.t_start for e in events),
                     model_seconds=model,
+                    hidden_seconds=sum(e.hidden for e in events),
                 )
             )
         return CommProfile(records, traced=True)
@@ -228,8 +244,9 @@ def profile_comm(
             rank=None,
             calls=int(stats.collective_calls[op]),
             nbytes=int(stats.collective_bytes[op]),
-            seconds=0.0,
+            seconds=float(stats.exposed_seconds[op]),
             model_seconds=None,
+            hidden_seconds=float(stats.overlapped_seconds[op]),
         )
         for op in sorted(stats.collective_calls)
     ]

@@ -164,11 +164,12 @@ def _section_comm(records: list[dict]) -> list[str]:
     for r in comm:
         agg = by_op.setdefault(
             r["op"], {"calls": 0, "nbytes": 0, "seconds": 0.0, "model_seconds": 0.0,
-                      "modelled": True}
+                      "hidden": 0.0, "modelled": True}
         )
         agg["calls"] = max(agg["calls"], r["calls"])
         agg["nbytes"] += r["nbytes"]
         agg["seconds"] = max(agg["seconds"], r["seconds"])
+        agg["hidden"] = max(agg["hidden"], r.get("hidden_seconds", 0.0))
         if r.get("model_seconds", -1.0) < 0:
             agg["modelled"] = False
         else:
@@ -176,8 +177,8 @@ def _section_comm(records: list[dict]) -> list[str]:
     lines = [
         "## Communication",
         "",
-        "| op | calls | bytes | virtual seconds | model seconds | utilization |",
-        "| --- | --- | --- | --- | --- | --- |",
+        "| op | calls | bytes | virtual seconds | model seconds | utilization | hidden seconds |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
     ]
     for op in sorted(by_op):
         agg = by_op[op]
@@ -186,9 +187,10 @@ def _section_comm(records: list[dict]) -> list[str]:
             util = f"{agg['model_seconds'] / agg['seconds']:.2f}"
         else:
             model, util = "-", "-"
+        hidden = _fmt(agg["hidden"]) if agg["hidden"] > 0 else "-"
         lines.append(
             f"| {op} | {int(agg['calls'])} | {int(agg['nbytes'])} | "
-            f"{_fmt(agg['seconds'])} | {model} | {util} |"
+            f"{_fmt(agg['seconds'])} | {model} | {util} | {hidden} |"
         )
     lines.append("")
     return lines

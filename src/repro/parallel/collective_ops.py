@@ -23,7 +23,13 @@ from repro.simmpi import Comm
 from repro.tensor import Tensor
 from repro.tensor.tensor import _make
 
-__all__ = ["alltoall_rows", "allreduce_sum", "copy_to_tp_region"]
+__all__ = [
+    "alltoall_rows",
+    "ialltoall_rows",
+    "place_rows",
+    "allreduce_sum",
+    "copy_to_tp_region",
+]
 
 
 def alltoall_rows(
@@ -73,6 +79,110 @@ def alltoall_rows(
 
     out = _make(data, x.dtype, (x,), backward)
     return out, recv_counts
+
+
+class PendingAlltoallRows:
+    """Handle from :func:`ialltoall_rows`; ``wait()`` -> (rows, counts).
+
+    The exchange was issued (and rendezvoused) at creation; ``wait()``
+    charges the exposed network cost and builds the differentiable output
+    tensor. The backward pass uses a *blocking* transposed alltoall —
+    gradient values are identical either way, and by wait time there is
+    no forward compute left to hide behind.
+    """
+
+    def __init__(self, x: Tensor, send_counts: list[int], comm: Comm,
+                 algorithm: str | None, req):
+        self._x = x
+        self._send_counts = send_counts
+        self._comm = comm
+        self._algorithm = algorithm
+        self._req = req
+        self._result: tuple[Tensor, list[int]] | None = None
+
+    def wait(self) -> tuple[Tensor, list[int]]:
+        if self._result is not None:
+            return self._result
+        x, comm = self._x, self._comm
+        send_counts, algorithm = self._send_counts, self._algorithm
+        received = self._req.wait()
+        recv_counts = [int(p.shape[0]) for p in received]
+        if sum(recv_counts):
+            data = np.concatenate(received, axis=0)
+        else:
+            data = np.empty((0,) + x.shape[1:], dtype=x.data.dtype)
+        recv_offsets = np.concatenate([[0], np.cumsum(recv_counts)])
+
+        def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+            gparts = [g[recv_offsets[r]: recv_offsets[r + 1]] for r in range(comm.size)]
+            back = comm.alltoall(gparts, algorithm=algorithm)
+            if sum(send_counts):
+                gx = np.concatenate(back, axis=0)
+            else:
+                gx = np.empty((0,) + g.shape[1:], dtype=g.dtype)
+            return (gx,)
+
+        out = _make(data, x.dtype, (x,), backward)
+        self._result = (out, recv_counts)
+        return self._result
+
+
+def ialltoall_rows(
+    x: Tensor,
+    send_counts: Sequence[int],
+    comm: Comm,
+    algorithm: str | None = None,
+) -> PendingAlltoallRows:
+    """Nonblocking :func:`alltoall_rows`; returns a wait()-able handle.
+
+    The row exchange rendezvouses eagerly (every rank must issue its
+    nonblocking exchanges in the same order) but the network cost is
+    charged lazily at ``wait()``, net of compute overlapped through
+    ``Comm.advance`` — this is the primitive the chunked MoE dispatch
+    pipelines expert matmuls against.
+    """
+    send_counts = [int(c) for c in send_counts]
+    if len(send_counts) != comm.size:
+        raise CommunicatorError(
+            f"send_counts must have {comm.size} entries, got {len(send_counts)}"
+        )
+    if sum(send_counts) != x.shape[0]:
+        raise CommunicatorError(
+            f"send_counts sum {sum(send_counts)} != rows {x.shape[0]}"
+        )
+    offsets = np.concatenate([[0], np.cumsum(send_counts)])
+    parts = [x.data[offsets[r]: offsets[r + 1]] for r in range(comm.size)]
+    req = comm.ialltoall(parts, algorithm=algorithm)
+    return PendingAlltoallRows(x, send_counts, comm, algorithm, req)
+
+
+def place_rows(
+    chunks: Sequence[Tensor],
+    index_lists: Sequence[np.ndarray],
+    total_rows: int,
+) -> Tensor:
+    """Reassemble disjoint row chunks into one (total_rows, D) tensor.
+
+    ``chunks[c]`` lands at row indices ``index_lists[c]``; the index lists
+    must partition ``range(total_rows)``. Forward is pure placement and
+    backward pure slicing — no arithmetic — so a chunked pipeline that
+    splits rows and reassembles them is bit-exact against the unsplit
+    path in both directions.
+    """
+    if len(chunks) != len(index_lists):
+        raise CommunicatorError(
+            f"{len(chunks)} chunks but {len(index_lists)} index lists"
+        )
+    if not chunks:
+        raise CommunicatorError("place_rows() of an empty chunk list")
+    data = np.zeros((total_rows,) + chunks[0].shape[1:], dtype=chunks[0].data.dtype)
+    for t, idx in zip(chunks, index_lists):
+        data[idx] = t.data
+
+    def backward(g: np.ndarray) -> Sequence[np.ndarray]:
+        return tuple(g[idx] for idx in index_lists)
+
+    return _make(data, chunks[0].dtype, tuple(chunks), backward)
 
 
 def allreduce_sum(x: Tensor, comm: Comm, algorithm: str | None = None) -> Tensor:

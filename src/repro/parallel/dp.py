@@ -17,7 +17,14 @@ from repro.errors import CommunicatorError
 from repro.simmpi import Comm
 from repro.tensor import Tensor, quantize
 
-__all__ = ["allreduce_gradients", "broadcast_parameters", "flatten_grads", "unflatten_grads"]
+__all__ = [
+    "allreduce_gradients",
+    "iallreduce_gradients",
+    "PendingGradAllreduce",
+    "broadcast_parameters",
+    "flatten_grads",
+    "unflatten_grads",
+]
 
 
 def flatten_grads(params: Sequence[Tensor]) -> np.ndarray:
@@ -67,6 +74,64 @@ def allreduce_gradients(
         total = total / comm.size
     unflatten_grads(params, total)
     return int(flat.nbytes)
+
+
+class PendingGradAllreduce:
+    """Handle from :func:`iallreduce_gradients`; ``wait()`` -> bytes moved.
+
+    The bucketed allreduces were issued (and rendezvoused) at creation;
+    ``wait()`` charges the exposed network cost of each bucket, reduces the
+    buckets back into per-parameter ``.grad``, and returns the fp32 bucket
+    bytes per rank. Element-wise bucket sums concatenate to exactly the
+    whole-vector sum, so the result is numerically identical to
+    :func:`allreduce_gradients`.
+    """
+
+    def __init__(self, comm: Comm, params: Sequence[Tensor], average: bool,
+                 reqs: list, nbytes: int):
+        self._comm = comm
+        self._params = params
+        self._average = average
+        self._reqs = reqs
+        self._nbytes = nbytes
+        self._done = False
+
+    def wait(self) -> int:
+        if self._done:
+            return self._nbytes
+        self._done = True
+        if not self._reqs:  # size-1 comm: nothing was issued, grads untouched
+            return self._nbytes
+        total = np.concatenate([req.wait() for req in self._reqs])
+        if self._average:
+            total = total / self._comm.size
+        unflatten_grads(self._params, total)
+        return self._nbytes
+
+
+def iallreduce_gradients(
+    comm: Comm,
+    params: Sequence[Tensor],
+    average: bool = True,
+    algorithm: str | None = None,
+    num_buckets: int = 1,
+) -> PendingGradAllreduce:
+    """Nonblocking :func:`allreduce_gradients`; returns a wait()-able handle.
+
+    The flat fp32 gradient vector is split into ``num_buckets`` contiguous
+    buckets, each issued as one ``comm.iallreduce`` — compute advanced via
+    ``Comm.advance`` between issue and ``wait()`` is credited against every
+    in-flight bucket, so gradient sync overlaps with (modelled) backward
+    compute on the virtual clock.
+    """
+    if num_buckets < 1:
+        raise CommunicatorError(f"num_buckets must be >= 1, got {num_buckets}")
+    if comm.size == 1:
+        return PendingGradAllreduce(comm, params, average, [], 0)
+    flat = flatten_grads(params)
+    buckets = np.array_split(flat, min(num_buckets, max(1, flat.size)))
+    reqs = [comm.iallreduce(b, algorithm=algorithm) for b in buckets]
+    return PendingGradAllreduce(comm, params, average, reqs, int(flat.nbytes))
 
 
 def broadcast_parameters(comm: Comm, params: Sequence[Tensor], root: int = 0) -> None:

@@ -24,7 +24,11 @@ from repro.errors import ConfigError
 from repro.models.configs import ModelConfig
 from repro.models.module import Module, Parameter
 from repro.models.transformer import MoELanguageModel
-from repro.parallel.dp import allreduce_gradients, broadcast_parameters
+from repro.parallel.dp import (
+    allreduce_gradients,
+    broadcast_parameters,
+    iallreduce_gradients,
+)
 from repro.parallel.ep import DistributedMoELayer
 from repro.parallel.groups import MoDaGroups
 from repro.simmpi import MAX
@@ -41,6 +45,7 @@ def build_moda_model(
     seed: int = 0,
     alltoall_algorithm: str | None = None,
     compute_hook: Callable[[int], None] | None = None,
+    overlap_chunks: int = 1,
 ) -> MoELanguageModel:
     """Construct the per-rank model for MoDa training.
 
@@ -71,6 +76,7 @@ def build_moda_model(
             alltoall_algorithm=alltoall_algorithm,
             dtype=config.dtype,
             compute_hook=compute_hook,
+            overlap_chunks=overlap_chunks,
         )
 
     return MoELanguageModel(config, seed=seed, moe_factory=moe_factory)
@@ -124,7 +130,14 @@ class MoDaTrainer:
         grad_clip: float | None = None,
         allreduce_algorithm: str | None = None,
         sync_initial_params: bool = True,
+        overlap_grad_sync: bool = False,
+        grad_sync_buckets: int = 1,
+        backward_compute_hook: Callable[[], None] | None = None,
     ):
+        if grad_sync_buckets < 1:
+            raise ConfigError(
+                f"grad_sync_buckets must be >= 1, got {grad_sync_buckets}"
+            )
         self.model = model
         self.optimizer = optimizer
         self.groups = groups
@@ -132,6 +145,14 @@ class MoDaTrainer:
         self.scaler = scaler
         self.grad_clip = grad_clip
         self.allreduce_algorithm = allreduce_algorithm
+        #: When set, gradient sync issues nonblocking bucketed allreduces
+        #: for every sync group, runs ``backward_compute_hook`` (which the
+        #: strategy layer uses to advance the modelled backward compute on
+        #: the virtual clock), then waits — hiding sync behind backward.
+        #: Gradient values are numerically identical to the blocking path.
+        self.overlap_grad_sync = overlap_grad_sync
+        self.grad_sync_buckets = grad_sync_buckets
+        self.backward_compute_hook = backward_compute_hook
         self.step_count = 0
         self.history: list[MoDaStepResult] = []
         self.dense_params, self.expert_params = split_params(model)
@@ -160,6 +181,26 @@ class MoDaTrainer:
             )
             for label, params, comm in self.sync_groups
         }
+
+    def _sync_gradients_overlapped(self) -> dict[str, int]:
+        """Overlapped variant: issue every group's bucketed nonblocking
+        allreduce, advance the modelled backward compute, then wait.
+
+        Each bucket is a contiguous slice of the flat fp32 gradient, so
+        the element-wise sums are bit-identical to the single-bucket
+        blocking allreduce.
+        """
+        pending = [
+            (label, iallreduce_gradients(
+                comm, params, average=True,
+                algorithm=self.allreduce_algorithm,
+                num_buckets=self.grad_sync_buckets,
+            ))
+            for label, params, comm in self.sync_groups
+        ]
+        if self.backward_compute_hook is not None:
+            self.backward_compute_hook()
+        return {label: handle.wait() for label, handle in pending}
 
     def evaluate(self, loader, num_steps: int, start_step: int = 0) -> dict[str, float]:
         """Distributed held-out evaluation: every rank scores its own data
@@ -212,7 +253,10 @@ class MoDaTrainer:
         t_backward = groups.world.clock - t1
 
         t2 = groups.world.clock
-        sync_bytes = self._sync_gradients()
+        if self.overlap_grad_sync:
+            sync_bytes = self._sync_gradients_overlapped()
+        else:
+            sync_bytes = self._sync_gradients()
         t_grad_sync = groups.world.clock - t2
 
         local_overflow = (

@@ -69,6 +69,11 @@ class TrainingRunConfig:
     zero_shards: int = 1
     #: Microbatches per step for pipeline strategies.
     num_microbatches: int = 2
+    #: Comm/compute overlap width: >1 splits expert dispatch into that
+    #: many pipelined chunks (bitwise-identical math) and buckets the
+    #: gradient allreduce to overlap with backward compute. Pipeline
+    #: strategies ignore it.
+    overlap_chunks: int = 1
     #: Registry name, or "auto" to infer from the layout.
     strategy: str = "auto"
     #: Record TraceEvents (Chrome-trace exportable via the RunContext).
@@ -84,6 +89,10 @@ class TrainingRunConfig:
         if self.world_size % self.ep_size != 0:
             raise ConfigError(
                 f"ep_size={self.ep_size} must divide world_size={self.world_size}"
+            )
+        if self.overlap_chunks < 1:
+            raise ConfigError(
+                f"overlap_chunks must be >= 1, got {self.overlap_chunks}"
             )
         _ = self.layout  # shared validation (divisibility across all axes)
         if self.strategy != "auto":
@@ -188,6 +197,7 @@ def run_distributed_training(
             "pp_size": cfg.pp_size,
             "zero_shards": cfg.zero_shards,
             "strategy": strategy.name,
+            "overlap_chunks": cfg.overlap_chunks,
             "mixed_precision": cfg.mixed_precision,
             "alltoall": cfg.alltoall_algorithm,
             "allreduce": cfg.allreduce_algorithm,

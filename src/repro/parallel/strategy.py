@@ -196,6 +196,7 @@ def build_hybrid_model(
     seed: int = 0,
     alltoall_algorithm: str | None = None,
     compute_hook: Callable[[int], None] | None = None,
+    overlap_chunks: int = 1,
 ) -> MoELanguageModel:
     """Per-rank model with EP-sharded MoE FFNs and (optionally) TP MLPs.
 
@@ -229,6 +230,7 @@ def build_hybrid_model(
             alltoall_algorithm=alltoall_algorithm,
             dtype=config.dtype,
             compute_hook=compute_hook,
+            overlap_chunks=overlap_chunks,
         )
 
     mlp_factory = None
@@ -437,7 +439,7 @@ class _PlaneTrainer(RankTrainer):
     """Adapter: drives a (Hybrid/MoDa) trainer through the step protocol."""
 
     def __init__(self, trainer: MoDaTrainer, model, loader, timer, comm, tokens,
-                 strategy_name: str = "plane"):
+                 strategy_name: str = "plane", overlap: bool = False):
         self.strategy_name = strategy_name
         self.trainer = trainer
         self.model = model
@@ -445,10 +447,18 @@ class _PlaneTrainer(RankTrainer):
         self.timer = timer
         self.comm = comm
         self.tokens = tokens
+        #: When overlapping, only the forward share of the modelled dense
+        #: compute is advanced up front; the backward share is advanced by
+        #: the trainer's ``backward_compute_hook`` while the bucketed
+        #: gradient allreduces are in flight (so sync hides behind it).
+        self.overlap = overlap
 
     def train_step(self, step: int) -> StepOutcome:
         if self.timer is not None:
-            self.comm.advance(self.timer.dense_step_time(self.tokens))
+            if self.overlap:
+                self.comm.advance(self.timer.dense_forward_time(self.tokens))
+            else:
+                self.comm.advance(self.timer.dense_step_time(self.tokens))
         res = self.trainer.train_step(self.loader.get_batch(step))
         outcome = StepOutcome(
             loss=res.loss,
@@ -473,6 +483,14 @@ class _PlaneStrategy(ParallelStrategy):
             if timer is not None:
                 comm.advance(timer.expert_layer_time(rows))
 
+        overlap = cfg.overlap_chunks > 1
+
+        def backward_hook() -> None:
+            if timer is not None:
+                comm.advance(
+                    timer.dense_backward_time(cfg.batch_size * cfg.seq_len)
+                )
+
         hybrid = build_hybrid_groups(comm, layout)
         model = build_hybrid_model(
             cfg.model,
@@ -480,6 +498,7 @@ class _PlaneStrategy(ParallelStrategy):
             seed=cfg.seed,
             alltoall_algorithm=cfg.alltoall_algorithm,
             compute_hook=compute_hook,
+            overlap_chunks=cfg.overlap_chunks,
         )
         scaler = self._scaler(cfg, model)
         if layout.zero_shards > 1:
@@ -496,6 +515,11 @@ class _PlaneStrategy(ParallelStrategy):
             schedule=ConstantLR(cfg.lr),
             scaler=scaler,
             allreduce_algorithm=cfg.allreduce_algorithm,
+            overlap_grad_sync=overlap,
+            grad_sync_buckets=cfg.overlap_chunks,
+            backward_compute_hook=(
+                backward_hook if overlap and timer is not None else None
+            ),
         )
         r = comm.rank
         data_rank = layout.dp_index_of(r) * layout.ep_size + layout.ep_rank_of(r)
@@ -505,7 +529,7 @@ class _PlaneStrategy(ParallelStrategy):
         )
         return _PlaneTrainer(
             trainer, model, loader, timer, comm, cfg.batch_size * cfg.seq_len,
-            strategy_name=self.name,
+            strategy_name=self.name, overlap=overlap,
         )
 
 

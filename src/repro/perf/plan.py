@@ -56,6 +56,12 @@ class ParallelPlan:
     #: compute (bucketed allreduce overlapping, as BaGuaLu-class systems
     #: do). 0 = fully exposed, 1 = hidden up to the compute time.
     overlap: float = 0.0
+    #: Chunked async expert-dispatch width (analytic side of the measured
+    #: ``overlap_chunks`` knob): >1 splits each MoE alltoall into that
+    #: many pipelined chunks, paying extra per-chunk latency but hiding
+    #: dispatch/combine behind expert compute; it also implies bucketed
+    #: gradient-sync overlap (``overlap`` is treated as 1.0).
+    overlap_chunks: int = 1
     #: Tensor-parallel width (analytic side of the tp/tp_ep strategies).
     tp_size: int = 1
     #: Pipeline stages (analytic side of the pipeline strategies).
@@ -81,6 +87,10 @@ class ParallelPlan:
             )
         if not 0.0 <= self.overlap <= 1.0:
             raise ConfigError(f"overlap must be in [0, 1], got {self.overlap}")
+        if self.overlap_chunks < 1:
+            raise ConfigError(
+                f"overlap_chunks must be >= 1, got {self.overlap_chunks}"
+            )
 
     @property
     def layout(self) -> ParallelLayout:

@@ -160,6 +160,15 @@ class ComputeTimer:
         flops = num_tokens * self._dense_fwd_per_token * (1.0 + BACKWARD_MULTIPLIER)
         return flops / self._node_flops
 
+    def dense_forward_time(self, num_tokens: int) -> float:
+        """Forward-only share of the dense compute for ``num_tokens``."""
+        return num_tokens * self._dense_fwd_per_token / self._node_flops
+
+    def dense_backward_time(self, num_tokens: int) -> float:
+        """Backward-only share — what overlapped gradient sync hides behind."""
+        flops = num_tokens * self._dense_fwd_per_token * BACKWARD_MULTIPLIER
+        return flops / self._node_flops
+
     def expert_layer_time(self, rows: int) -> float:
         """Forward+backward time for ``rows`` routed through one MoE layer."""
         flops = rows * self._expert_fwd_per_row * (1.0 + BACKWARD_MULTIPLIER)
@@ -228,7 +237,13 @@ class StepModel:
             plan.tokens_per_rank * cfg.top_k * bytes_per_token / plan.ep_size
         ) * plan.load_imbalance
         ranks = list(range(plan.ep_size))  # EP groups are consecutive ranks
-        one = self.network.alltoall_time(per_pair, ranks, algorithm=plan.alltoall)
+        # Chunked dispatch issues overlap_chunks smaller exchanges per
+        # alltoall: the bandwidth term is unchanged but every chunk pays
+        # the latency (alpha) term again — the price of overlap.
+        chunks = plan.overlap_chunks
+        one = chunks * self.network.alltoall_time(
+            per_pair / chunks, ranks, algorithm=plan.alltoall
+        )
         # A stage owns 1/pp of the MoE layers.
         return 4.0 * cfg.num_moe_layers * one / plan.pp_size
 
@@ -369,13 +384,21 @@ class StepModel:
         """Seconds per training step.
 
         ``plan.overlap`` hides that fraction of the gradient-sync
-        communication behind backward compute (the token alltoalls and the
-        TP activation exchanges are on the critical path and never
-        overlap).
+        communication behind backward compute (the TP activation
+        exchanges stay on the critical path and never overlap). With
+        ``plan.overlap_chunks > 1`` the chunked dispatch pipeline also
+        hides token alltoalls behind expert compute — all but the first
+        dispatch and last combine (a ``(C-1)/C`` fraction) can overlap,
+        with one dispatch and one combine in flight per compute window —
+        and gradient sync is bucket-overlapped (``overlap`` -> 1).
         """
         bd = self.step_breakdown(plan)
         sync = bd.dense_allreduce + bd.expert_allreduce
-        hidden = min(sync, plan.overlap * bd.compute)
+        overlap = plan.overlap if plan.overlap_chunks == 1 else 1.0
+        hidden = min(sync, overlap * bd.compute)
+        if plan.overlap_chunks > 1:
+            frac = (plan.overlap_chunks - 1) / plan.overlap_chunks
+            hidden += min(bd.alltoall / 2.0 * frac, bd.expert_compute)
         return bd.total - hidden
 
     def tokens_per_second(self, plan: ParallelPlan) -> float:

@@ -72,6 +72,11 @@ class PlannerConfig:
     max_tp: int = 8
     max_zero: int = 8
     load_imbalance: float = 1.0
+    #: Comm/compute overlap width applied to every candidate: >1 prices
+    #: (and would launch) chunked expert dispatch + bucketed grad-sync
+    #: overlap. Pipeline layouts ignore it (the measured pipeline path
+    #: does not overlap), so their plans are priced at 1.
+    overlap_chunks: int = 1
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -84,6 +89,10 @@ class PlannerConfig:
             )
         if self.max_tp < 1 or self.max_zero < 1:
             raise ConfigError("max_tp and max_zero must be >= 1")
+        if self.overlap_chunks < 1:
+            raise ConfigError(
+                f"overlap_chunks must be >= 1, got {self.overlap_chunks}"
+            )
         _ = self.preset  # fail fast on unknown cluster names
 
     @property
@@ -93,6 +102,10 @@ class PlannerConfig:
             return cluster_preset(self.cluster)
         except TopologyError as exc:
             raise ConfigError(str(exc)) from None
+
+    def _overlap_for(self, layout: ParallelLayout) -> int:
+        """Overlap width for one candidate (pipeline layouts don't overlap)."""
+        return 1 if layout.pp_size > 1 else self.overlap_chunks
 
     def training_config(
         self, layout: ParallelLayout, num_steps: int = 2
@@ -109,6 +122,7 @@ class PlannerConfig:
             batch_size=self.micro_batch,
             seq_len=self.seq_len,
             num_microbatches=self.num_microbatches,
+            overlap_chunks=self._overlap_for(layout),
         )
 
     def parallel_plan(self, layout: ParallelLayout) -> ParallelPlan:
@@ -123,6 +137,7 @@ class PlannerConfig:
             seq_len=self.seq_len,
             num_microbatches=self.num_microbatches,
             load_imbalance=self.load_imbalance,
+            overlap_chunks=self._overlap_for(layout),
         )
 
 

@@ -83,6 +83,9 @@ class ServeConfig:
     expert_capacity: int | None = None
     alltoall_algorithm: str | None = None
     kv_block: int = 8
+    #: Chunked async expert dispatch width for decode alltoalls (>1
+    #: pipelines dispatch/combine against expert compute; bit-identical).
+    overlap_chunks: int = 1
     model_compute_time: bool = True
     supernode_size: int = 256
     timeout: float = 600.0
@@ -139,6 +142,10 @@ class ServeConfig:
             raise ConfigError(f"slo_ms must be > 0, got {self.slo_ms}")
         if self.temperature <= 0:
             raise ConfigError(f"temperature must be > 0, got {self.temperature}")
+        if self.overlap_chunks < 1:
+            raise ConfigError(
+                f"overlap_chunks must be >= 1, got {self.overlap_chunks}"
+            )
 
 
 @dataclass
@@ -291,6 +298,7 @@ def _build_serve_model(
             alltoall_algorithm=cfg.alltoall_algorithm,
             dtype=model_cfg.dtype,
             compute_hook=compute_hook,
+            overlap_chunks=cfg.overlap_chunks,
         )
 
     model = MoELanguageModel(model_cfg, seed=cfg.seed, moe_factory=moe_factory)
@@ -508,7 +516,11 @@ def run_serving(
         requests=records,
         clocks=list(spmd.clocks),
         context=spmd.context,
-        meta={"ep_size": cfg.ep_size, "batching": cfg.batching},
+        meta={
+            "ep_size": cfg.ep_size,
+            "batching": cfg.batching,
+            "overlap_chunks": cfg.overlap_chunks,
+        },
     )
 
 

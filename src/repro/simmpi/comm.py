@@ -107,8 +107,12 @@ class _World:
         self._trace_event_cls = TraceEvent
         self.trace_events: list | None = self.context.trace_events
         self.flight = self.context.flight
+        #: Per-world-rank in-flight nonblocking requests; ``Comm.advance``
+        #: credits compute seconds to every request registered here.
+        self.inflight: list[list] = [[] for _ in range(size)]
 
-    def record(self, rank: int, op: str, t0: float, t1: float, nbytes: int = 0) -> None:
+    def record(self, rank: int, op: str, t0: float, t1: float, nbytes: int = 0,
+               hidden: float = 0.0) -> None:
         """Append a trace interval (call with the world lock held).
 
         The flight recorder is fed unconditionally — its bounded ring is
@@ -118,7 +122,8 @@ class _World:
         self.flight.record(rank, op, t0, t1, nbytes)
         if self.trace_events is not None:
             self.trace_events.append(
-                self._trace_event_cls(rank=rank, op=op, t_start=t0, t_end=t1, nbytes=nbytes)
+                self._trace_event_cls(rank=rank, op=op, t_start=t0, t_end=t1,
+                                      nbytes=nbytes, hidden=hidden)
             )
 
     # -- abort / wait helpers (call with lock held) --------------------- #
@@ -184,17 +189,90 @@ class _CommState:
             _CommState._next_context_id += 1
 
 
-class _SendRequest:
-    """Completed-at-creation request returned by :meth:`Comm.isend`."""
+class _Request:
+    """An in-flight nonblocking operation with lazily-charged cost.
 
-    def __init__(self) -> None:
+    The data plane already ran at issue time (payloads rendezvoused or
+    enqueued eagerly), so completion can never deadlock — ``wait()`` is a
+    purely local accounting step. Between issue and wait,
+    :meth:`Comm.advance` credits this rank's compute seconds into
+    ``overlapped``; ``wait()`` then charges only the *exposed* remainder
+    ``max(0, cost - overlapped)`` to the virtual clock and records the
+    hidden/exposed split in the trace and (from world rank 0, so float
+    accumulation order stays deterministic) in :class:`TrafficStats` and
+    the run's metric registry.
+    """
+
+    #: Whether wait() records a collective call in TrafficStats.
+    _record_collective = True
+
+    def __init__(self, comm: "Comm", op: str, value: Any, t_start: float,
+                 cost: float, nbytes: int):
+        self._comm = comm
+        self.op = op
+        self._value = value
+        self._t_start = t_start
+        self._cost = cost
+        self._nbytes = nbytes
+        #: Compute seconds accumulated while in flight (world lock held).
+        self.overlapped = 0.0
+        self._done = False
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check; completes the request (see wait)."""
+        return True, self.wait()
+
+    def wait(self) -> Any:
+        """Charge the exposed cost remainder and return the result."""
+        if self._done:
+            return self._value
+        comm = self._comm
+        world = comm._state.world
+        me = comm.world_rank
+        with world.lock:
+            pending = world.inflight[me]
+            if self in pending:
+                pending.remove(self)
+            hidden = min(self.overlapped, self._cost)
+            exposed = self._cost - hidden
+            t0 = world.clocks[me]
+            # The op still cannot finish before its wire time elapses from
+            # the rendezvous point; beyond that, only the exposed part of
+            # the cost pushes this rank's clock.
+            world.clocks[me] = max(t0 + exposed, self._t_start + self._cost)
+            world.record(me, self.op, t0, world.clocks[me], self._nbytes,
+                         hidden=hidden)
+            if self._record_collective and comm._group_rank == 0:
+                world.stats.record_collective(self.op, self._nbytes)
+            if me == 0:
+                world.stats.record_overlap(self.op, hidden, exposed)
+                ctx = world.context
+                if ctx.observing:
+                    ctx.metrics.counter("comm_overlapped_seconds", op=self.op).inc(hidden)
+                    ctx.metrics.counter("comm_exposed_seconds", op=self.op).inc(exposed)
         self._done = True
+        return self._value
 
-    def test(self) -> tuple[bool, None]:
-        return True, None
 
-    def wait(self) -> None:
-        return None
+class _SendRequest(_Request):
+    """Request returned by :meth:`Comm.isend`.
+
+    The payload is delivered eagerly (receiver semantics match blocking
+    ``send``), but the sender-side cost — the full point-to-point time for
+    the message, not just the alpha a blocking eager send charges — is
+    deferred to ``wait()`` with overlap crediting.
+    """
+
+    _record_collective = False  # p2p bytes were counted at issue time
+
+
+class _CollectiveRequest(_Request):
+    """Request returned by the nonblocking collectives.
+
+    Rendezvous happens eagerly at issue time (all members must issue their
+    nonblocking collectives in the same order), so waits are purely local
+    and ranks may complete requests in any order without deadlocking.
+    """
 
 
 class _RecvRequest:
@@ -302,6 +380,8 @@ class Comm:
         with world.lock:
             t0 = world.clocks[self.world_rank]
             world.clocks[self.world_rank] = t0 + seconds
+            for req in world.inflight[self.world_rank]:
+                req.overlapped += seconds
             world.record(self.world_rank, "compute", t0, t0 + seconds)
 
     # ------------------------------------------------------------------ #
@@ -357,9 +437,41 @@ class Comm:
             world.cv.notify_all()
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> _SendRequest:
-        """Non-blocking send (eager, so it completes immediately)."""
-        self.send(obj, dest, tag)
-        return _SendRequest()
+        """Non-blocking send: payload delivered eagerly, cost charged lazily.
+
+        The envelope lands in the destination mailbox immediately (same
+        receiver-side semantics as :meth:`send`), but the sender's clock is
+        untouched until ``request.wait()``, which charges the full
+        point-to-point time minus whatever compute overlapped it.
+        """
+        self._tick_op()
+        self._check_peer(dest)
+        world = self._state.world
+        src_w = self.world_rank
+        dst_w = self._state.members[dest]
+        payload = clone_payload(obj)
+        nbytes = payload_nbytes(payload)
+        with world.cv:
+            world.check_live()
+            fault = world.faults.on_message(src_w, dst_w) if world.faults else None
+            now = world.clocks[src_w]
+            if world.network is not None:
+                transit = world.network.p2p_time(nbytes, src_w, dst_w)
+            else:
+                transit = 0.0
+            if fault is not None and fault.drop:
+                world.stats.dropped_messages += 1
+            else:
+                arrival = now + transit + (fault.delay if fault is not None else 0.0)
+                world.mailboxes[dst_w].append(
+                    _Envelope(source=src_w, tag=tag, payload=payload,
+                              nbytes=nbytes, arrival=arrival)
+                )
+                world.stats.record_p2p(src_w, nbytes)
+            req = _SendRequest(self, "isend", None, now, transit, nbytes)
+            world.inflight[src_w].append(req)
+            world.cv.notify_all()
+        return req
 
     def _match(self, source: int, tag: int) -> int | None:
         """Index of the first matching envelope in my mailbox (lock held)."""
@@ -617,10 +729,73 @@ class Comm:
                 f"alltoall needs {self.size} entries, got {len(send_list)}"
             )
         contribs, t0 = self._rendezvous("alltoall", list(send_list))
-        per_pair = max(payload_nbytes(x) for x in send_list) if send_list else 0
+        total, per_pair = self._alltoall_payload(send_list)
         cost = self._collective_cost("alltoall", per_pair, algorithm=algorithm)
-        self._finish_collective("alltoall", t0, cost, per_pair * max(self.size - 1, 0))
+        self._finish_collective("alltoall", t0, cost, total)
         return [clone_payload(contribs[i][self.rank]) for i in range(self.size)]
+
+    def _alltoall_payload(self, send_list: Sequence[Any]) -> tuple[int, float]:
+        """(total off-rank bytes, mean per-destination bytes) of an exchange.
+
+        Pricing uses the *actual* bytes this rank puts on the wire (the
+        local contribution stays in memory), averaged per destination —
+        a max-based figure would overcharge skewed exchanges.
+        """
+        total = sum(
+            payload_nbytes(x) for i, x in enumerate(send_list) if i != self.rank
+        )
+        return total, total / max(self.size - 1, 1)
+
+    # ------------------------------------------------------------------ #
+    # Nonblocking collectives
+    # ------------------------------------------------------------------ #
+
+    def _issue_collective(self, op: str, value: Any, t_start: float,
+                          cost: float, nbytes: int) -> _CollectiveRequest:
+        """Register an in-flight request for an already-rendezvoused op."""
+        world = self._state.world
+        req = _CollectiveRequest(self, op, value, t_start, cost, nbytes)
+        with world.lock:
+            world.inflight[self.world_rank].append(req)
+        return req
+
+    def ialltoall(
+        self, send_list: Sequence[Any], algorithm: str | None = None
+    ) -> _CollectiveRequest:
+        """Nonblocking total exchange; ``request.wait()`` yields the parts.
+
+        The rendezvous runs eagerly (every member must issue its
+        nonblocking collectives in the same order), so the result is
+        already materialized when this returns — only the network cost is
+        charged lazily, net of compute overlapped via :meth:`advance`.
+        """
+        if len(send_list) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs {self.size} entries, got {len(send_list)}"
+            )
+        contribs, t0 = self._rendezvous("ialltoall", list(send_list))
+        total, per_pair = self._alltoall_payload(send_list)
+        cost = self._collective_cost("alltoall", per_pair, algorithm=algorithm)
+        value = [clone_payload(contribs[i][self.rank]) for i in range(self.size)]
+        return self._issue_collective("ialltoall", value, t0, cost, total)
+
+    def iallreduce(
+        self, value: Any, op: str = SUM, algorithm: str | None = None
+    ) -> _CollectiveRequest:
+        """Nonblocking allreduce; ``request.wait()`` yields the reduction."""
+        contribs, t0 = self._rendezvous("iallreduce", value)
+        nbytes = payload_nbytes(value)
+        cost = self._collective_cost("allreduce", nbytes, algorithm=algorithm)
+        result = _reduce_payloads([contribs[i] for i in range(self.size)], op)
+        return self._issue_collective("iallreduce", result, t0, cost, nbytes)
+
+    def iallgather(self, obj: Any) -> _CollectiveRequest:
+        """Nonblocking allgather; ``request.wait()`` yields the list."""
+        contribs, t0 = self._rendezvous("iallgather", obj)
+        nbytes = payload_nbytes(obj)
+        cost = self._collective_cost("allgather", nbytes)
+        value = [clone_payload(contribs[i]) for i in range(self.size)]
+        return self._issue_collective("iallgather", value, t0, cost, nbytes)
 
     # ------------------------------------------------------------------ #
     # Communicator management

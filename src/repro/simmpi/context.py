@@ -143,6 +143,7 @@ class RunContext:
                         t_start=e.t_start + clock_offset,
                         t_end=e.t_end + clock_offset,
                         nbytes=e.nbytes,
+                        hidden=e.hidden,
                     )
                 )
         with self._phase_lock:

@@ -27,6 +27,11 @@ class TrafficStats:
     collective_bytes: Counter[str] = field(default_factory=Counter)
     bytes_sent_by_rank: Counter[int] = field(default_factory=Counter)
     dropped_messages: int = 0
+    #: Per-op virtual seconds of nonblocking comm hidden behind compute
+    #: (and the exposed remainder), recorded from world rank 0's thread
+    #: only so float accumulation order is deterministic.
+    overlapped_seconds: Counter[str] = field(default_factory=Counter)
+    exposed_seconds: Counter[str] = field(default_factory=Counter)
 
     def record_p2p(self, src: int, nbytes: int) -> None:
         self.p2p_messages += 1
@@ -36,6 +41,11 @@ class TrafficStats:
     def record_collective(self, op: str, nbytes: int) -> None:
         self.collective_calls[op] += 1
         self.collective_bytes[op] += nbytes
+
+    def record_overlap(self, op: str, overlapped: float, exposed: float) -> None:
+        """Account one nonblocking op's hidden-vs-exposed split."""
+        self.overlapped_seconds[op] += overlapped
+        self.exposed_seconds[op] += exposed
 
     @property
     def total_bytes(self) -> int:
@@ -53,6 +63,8 @@ class TrafficStats:
         self.collective_bytes.update(other.collective_bytes)
         self.bytes_sent_by_rank.update(other.bytes_sent_by_rank)
         self.dropped_messages += other.dropped_messages
+        self.overlapped_seconds.update(other.overlapped_seconds)
+        self.exposed_seconds.update(other.exposed_seconds)
 
     def summary(self) -> dict[str, object]:
         """A plain-dict snapshot convenient for logging.
@@ -68,6 +80,10 @@ class TrafficStats:
             "collective_calls": {k: self.collective_calls[k]
                                  for k in sorted(self.collective_calls)},
             "dropped_messages": self.dropped_messages,
+            "exposed_seconds": {k: self.exposed_seconds[k]
+                                for k in sorted(self.exposed_seconds)},
+            "overlapped_seconds": {k: self.overlapped_seconds[k]
+                                   for k in sorted(self.overlapped_seconds)},
             "p2p_bytes": self.p2p_bytes,
             "p2p_messages": self.p2p_messages,
             "total_bytes": self.total_bytes,

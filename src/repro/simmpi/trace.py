@@ -27,6 +27,9 @@ class TraceEvent:
     t_start: float
     t_end: float
     nbytes: int = 0
+    #: Seconds of this op's network cost hidden behind compute (nonzero
+    #: only for nonblocking ops whose wait charged less than their cost).
+    hidden: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -40,6 +43,9 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> list[dict]:
     """
     out = []
     for e in events:
+        args: dict = {"nbytes": e.nbytes}
+        if e.hidden:
+            args["hidden_seconds"] = e.hidden
         out.append(
             {
                 "name": e.op,
@@ -48,7 +54,7 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> list[dict]:
                 "dur": max(e.duration * 1e6, 0.001),
                 "pid": 0,
                 "tid": e.rank,
-                "args": {"nbytes": e.nbytes},
+                "args": args,
             }
         )
     return out

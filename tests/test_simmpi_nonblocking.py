@@ -1,0 +1,248 @@
+"""Nonblocking collectives: results, overlap accounting, deadlock safety."""
+
+import numpy as np
+import pytest
+
+from repro.network import sunway_network
+from repro.simmpi import SUM, run_spmd
+
+WORLD = 4
+
+
+def _net(size=WORLD):
+    return sunway_network(size, supernode_size=2)
+
+
+# --------------------------------------------------------------------- #
+# Functional results match the blocking collectives
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_iallreduce_matches_allreduce(size):
+    def program(comm):
+        blocking = comm.allreduce(comm.rank + 1.0)
+        req = comm.iallreduce(comm.rank + 1.0, op=SUM)
+        return blocking, req.wait()
+
+    for blocking, nonblocking in run_spmd(program, size).returns:
+        assert nonblocking == blocking
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_ialltoall_matches_alltoall(size):
+    def program(comm):
+        send = [np.full(3, 10 * comm.rank + d, dtype=np.float64)
+                for d in range(comm.size)]
+        blocking = comm.alltoall(send)
+        got = comm.ialltoall(send).wait()
+        return all(np.array_equal(a, b) for a, b in zip(blocking, got))
+
+    assert all(run_spmd(program, size).returns)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_iallgather_matches_allgather(size):
+    def program(comm):
+        blocking = comm.allgather(comm.rank * 2)
+        return comm.iallgather(comm.rank * 2).wait() == blocking
+
+    assert all(run_spmd(program, size).returns)
+
+
+def test_ialltoall_result_is_private_copy():
+    def program(comm):
+        send = [np.zeros(2) for _ in range(comm.size)]
+        got = comm.ialltoall(send).wait()
+        got[0] += comm.rank + 1  # must not leak across ranks
+        comm.barrier()
+        return float(got[0].sum())
+
+    res = run_spmd(program, 2)
+    assert res.returns == [2.0, 4.0]
+
+
+# --------------------------------------------------------------------- #
+# Overlap accounting on the virtual clock
+# --------------------------------------------------------------------- #
+
+
+def _payload(comm):
+    return [np.zeros(1 << 14) for _ in range(comm.size)]
+
+
+def test_overlapped_compute_hides_comm_cost():
+    """advance() between issue and wait shrinks the charged comm time."""
+
+    def blocking(comm):
+        comm.alltoall(_payload(comm))
+        comm.advance(1e-3)
+        return comm.clock
+
+    def overlapped(comm):
+        req = comm.ialltoall(_payload(comm))
+        comm.advance(1e-3)
+        req.wait()
+        return comm.clock
+
+    t_blocking = max(run_spmd(blocking, WORLD, network=_net()).returns)
+    t_overlapped = max(run_spmd(overlapped, WORLD, network=_net()).returns)
+    assert t_overlapped < t_blocking
+
+
+def test_fully_hidden_collective_charges_nothing_extra():
+    """Compute >= comm cost: wait() is free beyond the wire-time floor."""
+
+    def program(comm):
+        req = comm.ialltoall(_payload(comm))
+        comm.advance(10.0)  # far larger than any modelled alltoall here
+        req.wait()
+        return comm.clock
+
+    res = run_spmd(program, WORLD, network=_net())
+    assert max(res.returns) == pytest.approx(10.0)
+    overlapped = res.context.stats.overlapped_seconds["ialltoall"]
+    exposed = res.context.stats.exposed_seconds["ialltoall"]
+    assert overlapped > 0
+    assert exposed == 0.0
+
+
+def test_wait_without_compute_costs_like_blocking():
+    def blocking(comm):
+        comm.alltoall(_payload(comm))
+        return comm.clock
+
+    def eager_wait(comm):
+        return (comm.ialltoall(_payload(comm)).wait(), comm.clock)[1]
+
+    t_blocking = run_spmd(blocking, WORLD, network=_net()).returns
+    t_eager = run_spmd(eager_wait, WORLD, network=_net()).returns
+    assert t_eager == pytest.approx(t_blocking)
+
+
+def test_overlap_recorded_in_trace_and_stats():
+    def program(comm):
+        req = comm.iallreduce(np.zeros(1 << 12))
+        comm.advance(5e-4)
+        req.wait()
+
+    res = run_spmd(program, WORLD, network=_net(), trace=True)
+    events = [e for e in res.context.trace_events if e.op == "iallreduce"]
+    assert len(events) == WORLD
+    assert all(e.hidden > 0 for e in events)
+    assert res.context.stats.overlapped_seconds["iallreduce"] > 0
+
+
+def test_isend_charges_bytes_on_wait():
+    """isend cost (full p2p time) lands at wait(), net of overlap."""
+
+    def program(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.zeros(1 << 16), dest=1)
+            t_issue = comm.clock
+            req.wait()
+            return t_issue, comm.clock
+        return comm.recv(source=0) is not None
+
+    res = run_spmd(program, 2, network=_net(2))
+    t_issue, t_done = res.returns[0]
+    assert t_issue == 0.0  # issue itself is free
+    assert t_done > 0.0  # the wire time is charged at wait()
+
+
+def test_isend_overlap_credits_compute():
+    def program(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.zeros(1 << 16), dest=1)
+            comm.advance(10.0)
+            req.wait()
+            return comm.clock
+        comm.recv(source=0)
+        return None
+
+    res = run_spmd(program, 2, network=_net(2))
+    assert res.returns[0] == pytest.approx(10.0)
+
+
+# --------------------------------------------------------------------- #
+# Deadlock regression: waits are local, so wait order cannot matter
+# --------------------------------------------------------------------- #
+
+
+def test_interleaved_wait_orders_do_not_deadlock():
+    """Ranks issue the same collective sequence but wait in different
+    (even reversed) orders — completion must stay purely local."""
+
+    def program(comm):
+        req_a = comm.iallreduce(float(comm.rank))
+        req_b = comm.ialltoall([comm.rank * 10 + d for d in range(comm.size)])
+        req_c = comm.iallgather(comm.rank)
+        reqs = {"a": req_a, "b": req_b, "c": req_c}
+        orders = ["abc", "cba", "bca", "acb"]
+        out = {k: reqs[k].wait() for k in orders[comm.rank % len(orders)]}
+        return out["a"], out["b"], out["c"]
+
+    res = run_spmd(program, WORLD, network=_net(), timeout=30.0)
+    total = sum(range(WORLD))
+    for rank, (a, b, c) in enumerate(res.returns):
+        assert a == float(total)
+        assert b == [src * 10 + rank for src in range(WORLD)]
+        assert c == list(range(WORLD))
+
+
+def test_mixed_blocking_between_nonblocking_waits():
+    """A blocking collective issued while requests are outstanding still
+    completes (rendezvous already happened at issue time)."""
+
+    def program(comm):
+        req = comm.ialltoall([comm.rank] * comm.size)
+        total = comm.allreduce(1)
+        got = req.wait()
+        return total, got
+
+    res = run_spmd(program, WORLD, network=_net(), timeout=30.0)
+    for total, got in res.returns:
+        assert total == WORLD
+        assert got == list(range(WORLD))
+
+
+# --------------------------------------------------------------------- #
+# Satellite: sum-based alltoall byte accounting
+# --------------------------------------------------------------------- #
+
+
+def test_alltoall_bytes_are_sum_based():
+    """Skewed exchanges are priced by actual off-rank bytes, not the max."""
+
+    def program(comm):
+        # rank 0 sends 1 KiB to rank 1 and 1 MiB to... no: make it skewed
+        # per destination: big payload to the next rank, tiny elsewhere.
+        send = [np.zeros(1, dtype=np.float64) for _ in range(comm.size)]
+        send[(comm.rank + 1) % comm.size] = np.zeros(1024, dtype=np.float64)
+        comm.alltoall(send)
+
+    res = run_spmd(program, WORLD)
+    # Off-rank bytes from rank 0: one 1024-row payload + two 1-row payloads
+    # (the self-slot never hits the wire).
+    expected = 1024 * 8 + 2 * 8
+    assert res.context.stats.collective_bytes["alltoall"] == expected
+
+
+def test_alltoall_skewed_cheaper_than_uniform_max():
+    """The old max-based pricing charged this skewed exchange like a
+    uniform big one; sum-based pricing must be strictly cheaper."""
+
+    def skewed(comm):
+        send = [np.zeros(8, dtype=np.float64) for _ in range(comm.size)]
+        send[(comm.rank + 1) % comm.size] = np.zeros(1 << 15, dtype=np.float64)
+        comm.alltoall(send)
+        return comm.clock
+
+    def uniform_big(comm):
+        comm.alltoall([np.zeros(1 << 15, dtype=np.float64)
+                       for _ in range(comm.size)])
+        return comm.clock
+
+    t_skewed = max(run_spmd(skewed, WORLD, network=_net()).returns)
+    t_uniform = max(run_spmd(uniform_big, WORLD, network=_net()).returns)
+    assert t_skewed < t_uniform
