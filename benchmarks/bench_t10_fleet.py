@@ -1,0 +1,257 @@
+"""T10 (extension) — fault-tolerant serving fleet under injected faults.
+
+Two tables on the virtual clock:
+
+* **goodput vs MTBF** — replica counts {1, 2, 3} swept over per-replica
+  mean-time-between-failures expressed as multiples of the healthy
+  single-replica makespan. The acceptance bar: at every fault rate a
+  fleet of >= 2 replicas beats the single replica on goodput (completed
+  decode tokens per virtual second of fleet makespan), and *no request
+  is ever silently lost* — each one completes or is explicitly
+  evicted/shed with a reason.
+* **shed fraction vs offered load** — a four-tier workload (tier 0 is the
+  premium 25%) pushed past the calibrated sustainable arrival rate with
+  admission control shedding/preempting tiers >= 1. The bar: at 2x the
+  sustainable rate, premium (tier-0) TTFT p95 stays within 1.5x of the
+  uncontended value and no premium request is lost, with the degraded
+  fraction reported per class.
+
+Run standalone as ``python benchmarks/bench_t10_fleet.py --smoke [--out F]``
+for a seconds-scale CI smoke; ``--out`` writes a deterministic fleet
+report (CI runs it twice and byte-compares).
+"""
+
+from repro.models import small_config
+from repro.serve import FleetConfig, ServeConfig, run_fleet_serving, run_serving
+
+CFG = small_config(vocab_size=256)
+WORLD = 2
+REQUESTS = 24
+MAX_NEW = 16
+
+#: MTBF grid, as multiples of the healthy single-replica makespan.
+MTBF_MULTIPLES = (0.8, 1.2, 1.6)
+REPLICAS = (1, 2, 3)
+TTFT_DEGRADATION_CAP = 1.5
+
+_US = 1e6  # virtual seconds -> microseconds for readable cells
+
+
+def _serve_cfg(**overrides) -> ServeConfig:
+    base = dict(
+        model=CFG, ep_size=WORLD, num_requests=REQUESTS, prompt_len=8,
+        prompt_len_max=16, max_new_tokens=MAX_NEW, max_batch_size=4, seed=0,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def _fleet_cfg(scfg, replicas, mtbf):
+    # Backoff on the serving timescale (the supervisor's 5 s default is a
+    # training-relaunch number; a replica restart is ~a makespan).
+    return FleetConfig(
+        serve=scfg, replicas=replicas, mtbf=mtbf, retry_max=8,
+        backoff_base=2e-4, backoff_cap=2e-3,
+    )
+
+
+def _accounted(fleet, n=REQUESTS) -> bool:
+    """Zero silent loss: every rid terminal, with a reason if not done."""
+    recs = fleet.requests
+    return (
+        sorted(r["rid"] for r in recs) == list(range(n))
+        and all(r["state"] in ("done", "evicted", "shed") for r in recs)
+        and all(r["state"] == "done" or r["reason"] for r in recs)
+    )
+
+
+def test_t10_fleet(benchmark, report):
+    def measure():
+        healthy = run_serving(_serve_cfg())
+        makespan = healthy.simulated_time
+
+        goodput_rows = []
+        for mult in MTBF_MULTIPLES:
+            mtbf = mult * makespan
+            for replicas in REPLICAS:
+                fleet = run_fleet_serving(
+                    _fleet_cfg(_serve_cfg(), replicas, mtbf)
+                )
+                goodput_rows.append({
+                    "mtbf_x_makespan": mult,
+                    "replicas": replicas,
+                    "completed": fleet.completed,
+                    "evicted": fleet.evicted,
+                    "crashes": fleet.crashes,
+                    "retries": fleet.retries,
+                    "makespan_us": fleet.simulated_time * _US,
+                    "goodput_tok_s": fleet.goodput,
+                    "accounted": _accounted(fleet),
+                })
+
+        # Offered-load regime: calibrate the sustainable arrival rate from
+        # healthy throughput, then push 2x through tiered admission
+        # control (tier 0 is the premium 25%; tiers 1-3 shed/preempt).
+        sustainable = healthy.throughput / MAX_NEW  # requests / virtual s
+        shed_rows = []
+        tiered = dict(
+            num_tiers=4, shed_tier=1, queue_depth=2 * 4, num_requests=48
+        )
+        for label, rate in (
+            ("0.25x", 0.25 * sustainable),
+            ("1x", sustainable),
+            ("2x", 2.0 * sustainable),
+        ):
+            res = run_serving(_serve_cfg(arrival_rate=rate, **tiered))
+            premium = [r for r in res.requests if r["tier"] == 0]
+            rest = [r for r in res.requests if r["tier"] >= 1]
+            ttfts = sorted(r["ttft"] for r in premium
+                           if r["state"] == "done" and r["ttft"] is not None)
+            p95 = (
+                ttfts[min(len(ttfts) - 1, int(0.95 * len(ttfts)))]
+                if ttfts else 0.0
+            )
+            shed_rows.append({
+                "offered": label,
+                "arrival_req_s": rate,
+                "completed": res.completed,
+                "premium_done": sum(r["state"] == "done" for r in premium),
+                "premium_total": len(premium),
+                "shed_frac_premium": (
+                    sum(r["state"] == "shed" for r in premium)
+                    / max(1, len(premium))
+                ),
+                "shed_frac_rest": (
+                    sum(r["state"] == "shed" for r in rest)
+                    / max(1, len(rest))
+                ),
+                "preempted": sum(r["reason"] == "preempt" for r in rest),
+                "premium_ttft_p95_us": p95 * _US,
+            })
+        return goodput_rows, shed_rows
+
+    goodput_rows, shed_rows = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    report(
+        "t10_goodput",
+        f"T10: fleet goodput vs per-replica MTBF ({REQUESTS} reqs x "
+        f"{MAX_NEW} new tokens, {WORLD} EP ranks per replica)",
+        goodput_rows,
+    )
+    report(
+        "t10_shed",
+        "T10: tiered admission control vs offered load (4-tier workload, "
+        "premium tier 0, shed_tier=1)",
+        shed_rows,
+    )
+
+    # Zero silent loss at every fault rate and fleet size.
+    assert all(r["accounted"] for r in goodput_rows)
+    # The acceptance bar: >= 2 replicas beat 1 at every fault rate.
+    for mult in MTBF_MULTIPLES:
+        rows = {r["replicas"]: r for r in goodput_rows
+                if r["mtbf_x_makespan"] == mult}
+        assert rows[2]["goodput_tok_s"] > rows[1]["goodput_tok_s"], mult
+        assert rows[3]["goodput_tok_s"] > rows[1]["goodput_tok_s"], mult
+
+    # Degradation only ever touches the sheddable tiers...
+    assert all(r["shed_frac_premium"] == 0.0 for r in shed_rows)
+    assert all(r["premium_done"] == r["premium_total"] for r in shed_rows)
+    # ...bites under overload...
+    assert shed_rows[-1]["shed_frac_rest"] > 0.0
+    # ...and keeps premium TTFT within the degradation cap of uncontended.
+    base_p95 = shed_rows[0]["premium_ttft_p95_us"]
+    assert base_p95 > 0.0
+    assert (
+        shed_rows[-1]["premium_ttft_p95_us"]
+        <= TTFT_DEGRADATION_CAP * base_p95
+    )
+    # The uncontended point itself sheds nothing.
+    assert shed_rows[0]["shed_frac_rest"] == 0.0
+
+
+def _fleet_report(fleet) -> str:
+    """Deterministic one-fleet text report (CI byte-compares two runs)."""
+    lines = ["# T10 fleet smoke report", ""]
+    for key, value in sorted(fleet.metrics_record().items()):
+        if isinstance(value, float):
+            lines.append(f"{key}: {value:.9g}")
+        else:
+            lines.append(f"{key}: {value}")
+    lines.append("")
+    for rec in fleet.requests:
+        lines.append(
+            f"rid={rec['rid']} tier={rec['tier']} state={rec['state']} "
+            f"reason={rec['reason']} attempts={rec['attempts']} "
+            f"tokens={rec['tokens']}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _smoke(out: str | None) -> int:
+    """Seconds-scale end-to-end check for CI (returns a process rc)."""
+    scfg = _serve_cfg(
+        num_requests=8, max_new_tokens=8, prompt_len=4, prompt_len_max=8,
+    )
+    base = run_serving(scfg)
+    one = run_fleet_serving(FleetConfig(serve=scfg, replicas=1))
+    faulty = run_fleet_serving(
+        _fleet_cfg(scfg, replicas=2, mtbf=5 * base.simulated_time)
+    )
+    base_tokens = {r["rid"]: r["tokens"] for r in base.requests}
+    fleet_tokens = {r["rid"]: r["tokens"] for r in one.requests}
+    faulty_tokens = {
+        r["rid"]: r["tokens"] for r in faulty.requests if r["state"] == "done"
+    }
+    ok = (
+        fleet_tokens == base_tokens
+        and one.simulated_time == base.simulated_time
+        and faulty.crashes > 0
+        and faulty.completed == 8
+        and _accounted(faulty, n=8)
+        and all(faulty_tokens[rid] == base_tokens[rid]
+                for rid in faulty_tokens)
+    )
+    print(
+        f"t10 smoke: fleet-of-1 tokens "
+        f"{'match' if fleet_tokens == base_tokens else 'MISMATCH'}; "
+        f"faulty fleet {faulty.completed}/8 completed, "
+        f"{faulty.crashes} crashes, {faulty.retries} retries, "
+        f"accounted={'yes' if _accounted(faulty, n=8) else 'NO'}"
+    )
+    if out:
+        with open(out, "w") as fh:
+            fh.write(_fleet_report(faulty))
+        print(f"t10 smoke: report -> {out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="fast end-to-end check (CI)")
+    ap.add_argument("--out", default=None,
+                    help="write the smoke fleet report here")
+    ns = ap.parse_args()
+    if ns.smoke:
+        sys.exit(_smoke(ns.out))
+    # Full table without pytest: reuse the conftest formatting.
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    from conftest import OUT_DIR, format_table
+
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, **kw):
+            return fn()
+
+    def _report(name, title, rows):
+        text = format_table(title, rows)
+        print(text)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text)
+
+    test_t10_fleet(_Bench(), _report)

@@ -41,19 +41,24 @@ from repro.parallel import (
 
 # Elastic fault-tolerant training ------------------------------------------
 from repro.resilience import (
+    BackoffPolicy,
     ElasticRunConfig,
     ElasticRunResult,
     Supervisor,
     run_elastic_training,
 )
 
-# Serving: KV cache + continuous batching on EP ranks ----------------------
+# Serving: KV cache + continuous batching on EP ranks, replicated fleet -----
 from repro.serve import (
     ContinuousBatchScheduler,
+    FleetConfig,
+    FleetResult,
     KVCache,
+    ReplicaRouter,
     Request,
     ServeConfig,
     ServeResult,
+    run_fleet_serving,
     run_sequential_baseline,
     run_serving,
 )
@@ -109,16 +114,21 @@ __all__ = [
     "register_strategy",
     "run_distributed_training",
     # elastic
+    "BackoffPolicy",
     "ElasticRunConfig",
     "ElasticRunResult",
     "Supervisor",
     "run_elastic_training",
     # serving
     "ContinuousBatchScheduler",
+    "FleetConfig",
+    "FleetResult",
     "KVCache",
+    "ReplicaRouter",
     "Request",
     "ServeConfig",
     "ServeResult",
+    "run_fleet_serving",
     "run_sequential_baseline",
     "run_serving",
     # planner

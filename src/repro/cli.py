@@ -200,6 +200,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "decode alltoalls (>1 overlaps dispatch with "
                              "expert compute)")
     p_srv.add_argument("--supernode", type=int, default=256)
+    p_srv.add_argument("--replicas", type=int, default=1,
+                       help="serving replicas behind the retry router "
+                            "(>1 or --mtbf engages the fleet path)")
+    p_srv.add_argument("--mtbf", type=float, default=None,
+                       help="mean virtual seconds between crashes per "
+                            "replica (fault injection)")
+    p_srv.add_argument("--retry-max", type=int, default=3,
+                       help="re-dispatches per request before explicit "
+                            "eviction")
+    p_srv.add_argument("--hedge-after-ms", type=float, default=None,
+                       help="speculatively re-dispatch a request to a "
+                            "second replica past this service latency")
+    p_srv.add_argument("--request-timeout-ms", type=float, default=None,
+                       help="force a retry when a request's service "
+                            "latency exceeds this")
+    p_srv.add_argument("--backoff-base", type=float, default=0.5,
+                       help="first-retry backoff for a crashed replica "
+                            "(virtual seconds, capped exponential)")
+    p_srv.add_argument("--tiers", type=int, default=1,
+                       help="SLO classes for the workload (tier 0 is "
+                            "premium)")
+    p_srv.add_argument("--shed-tier", type=int, default=None,
+                       help="shed arrivals of this tier and above when "
+                            "the backlog exceeds --queue-depth")
+    p_srv.add_argument("--queue-depth", type=int, default=None,
+                       help="backlog cap that triggers shedding "
+                            "(default: 2x --batch when --shed-tier set)")
+    p_srv.add_argument("--kv-budget", type=int, default=None,
+                       help="total committed KV tokens per rank; over "
+                            "budget, the lowest-priority slot is evicted")
     p_srv.add_argument("--sample", action="store_true",
                        help="sample instead of greedy decoding")
     p_srv.add_argument("--baseline", action="store_true",
@@ -547,9 +577,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alltoall_algorithm=args.alltoall,
         overlap_chunks=args.overlap_chunks,
         supernode_size=args.supernode,
+        num_tiers=args.tiers,
+        shed_tier=args.shed_tier,
+        queue_depth=args.queue_depth,
+        kv_token_budget=args.kv_budget,
         trace=args.trace is not None,
         observe=args.observe,
     )
+    if args.replicas > 1 or args.mtbf is not None:
+        return _serve_fleet(args, serve_cfg)
     arrival = ("all at t=0" if args.arrival_rate is None
                else f"Poisson {args.arrival_rate:g} req/s")
     print(f"serving {args.requests} requests on {args.ep} EP ranks "
@@ -559,6 +595,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     result = run_serving(serve_cfg)
 
     print(f"completed / evicted: {result.completed} / {result.evicted}")
+    if result.shed:
+        print(f"shed (admission)   : {result.shed}")
     print(f"decode tokens      : {result.decode_tokens}")
     print(f"makespan           : {format_time(result.simulated_time)}")
     print(f"throughput         : {result.throughput:,.0f} tok/s (virtual)")
@@ -587,6 +625,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             logger.log({"record": "summary", **result.metrics_record()})
             if baseline is not None:
                 logger.log({"record": "baseline", **baseline.metrics_record()})
+            if logger.path.suffix == ".jsonl":
+                for rec in result.requests:
+                    logger.log({"record": "request", **rec})
+                if args.observe and result.context is not None:
+                    from repro.obs import collect_run_records
+
+                    logger.log_events(collect_run_records(result.context))
+        print(f"metrics            : {args.metrics}")
+    if args.trace:
+        path = result.context.write_chrome_trace(args.trace)
+        print(f"chrome trace       : {path}")
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, serve_cfg) -> int:
+    """The replicated path of ``serve``: router + retries + fault injection."""
+    from repro.serve import FleetConfig, run_fleet_serving
+
+    fleet_cfg = FleetConfig(
+        serve=serve_cfg,
+        replicas=args.replicas,
+        mtbf=args.mtbf,
+        retry_max=args.retry_max,
+        hedge_after_ms=args.hedge_after_ms,
+        request_timeout_ms=args.request_timeout_ms,
+        backoff_base=args.backoff_base,
+    )
+    faults = ("healthy" if args.mtbf is None
+              else f"mtbf {args.mtbf:g}s per replica")
+    print(f"fleet: {args.requests} requests over {args.replicas} replicas "
+          f"x {args.ep} EP ranks ({faults}, retry_max={args.retry_max})")
+    result = run_fleet_serving(fleet_cfg)
+
+    print(f"completed / evicted: {result.completed} / {result.evicted}")
+    if result.shed:
+        tiers = ", ".join(
+            f"tier{t}={n}" for t, n in sorted(result.shed_by_tier.items())
+        )
+        print(f"shed (admission)   : {result.shed} ({tiers})")
+    print(f"decode tokens      : {result.decode_tokens}")
+    print(f"makespan           : {format_time(result.simulated_time)}")
+    print(f"goodput            : {result.goodput:,.0f} tok/s (virtual)")
+    print(f"crashes / retries  : {result.crashes} / {result.retries}")
+    if result.hedges:
+        print(f"hedges (wins)      : {result.hedges} ({result.hedge_wins})")
+    if result.timeouts:
+        print(f"timeouts           : {result.timeouts}")
+    if result.ttft.count:
+        print(f"ttft               : p50 {format_time(result.ttft.percentile(50))}"
+              f"  p95 {format_time(result.ttft.percentile(95))}")
+    for stat in result.replica_stats:
+        print(f"  replica {stat['replica']}: completed {stat['completed']:>4}  "
+              f"crashes {stat['crashes']:>2}  "
+              f"busy {format_time(stat['busy_time'])}")
+
+    if args.metrics:
+        with MetricsLogger(args.metrics) as logger:
+            logger.log({"record": "summary", **result.metrics_record()})
             if logger.path.suffix == ".jsonl":
                 for rec in result.requests:
                     logger.log({"record": "request", **rec})

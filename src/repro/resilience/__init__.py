@@ -18,6 +18,7 @@ predecessor it generalizes):
   fold-carry gradient accumulation.
 """
 
+from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.elastic import (
     ElasticStepDriver,
     ElasticStepResult,
@@ -34,6 +35,7 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "ElasticRunConfig",
     "ElasticRunResult",
     "ElasticStepDriver",

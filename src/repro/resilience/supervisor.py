@@ -51,6 +51,7 @@ from repro.errors import (
 from repro.models.configs import ModelConfig
 from repro.parallel.dist_checkpoint import latest_snapshot
 from repro.parallel.runner import TrainingRunConfig
+from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.elastic import SegmentProgress, SegmentSpec, run_elastic_segment
 from repro.simmpi import RunContext, run_spmd
 
@@ -132,12 +133,9 @@ class ElasticRunConfig:
             raise ConfigError("total_steps and checkpoint_every must be >= 1")
         if self.max_restarts < 0:
             raise ConfigError("max_restarts must be >= 0")
-        if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_factor < 1.0:
-            raise ConfigError(
-                "backoff wants base >= 0, cap >= 0 and factor >= 1.0; got "
-                f"base={self.backoff_base} factor={self.backoff_factor} "
-                f"cap={self.backoff_cap}"
-            )
+        # Delegated: BackoffPolicy owns the schedule validation, so the
+        # supervisor and the serving fleet router reject the same inputs.
+        self.backoff_policy()
         if self.shrink_after < 1:
             raise ConfigError(f"shrink_after must be >= 1, got {self.shrink_after}")
         if not 1 <= self.min_world_size <= self.world_size:
@@ -145,6 +143,14 @@ class ElasticRunConfig:
                 f"min_world_size must be in [1, {self.world_size}], "
                 f"got {self.min_world_size}"
             )
+
+    def backoff_policy(self) -> BackoffPolicy:
+        """The capped-exponential schedule this run waits between retries."""
+        return BackoffPolicy(
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            cap=self.backoff_cap,
+        )
 
 
 @dataclass
@@ -336,6 +342,7 @@ class Supervisor:
         """Drive training to ``total_steps``; raise after ``max_restarts``
         consecutive failed launches."""
         cfg = self.cfg
+        backoff_policy = cfg.backoff_policy()
         ckpt_dir = Path(cfg.checkpoint_dir)
         ckpt_dir.mkdir(parents=True, exist_ok=True)
         session = RunContext(trace=cfg.trace, observe=cfg.observe)
@@ -474,10 +481,7 @@ class Supervisor:
                         shrinks += 1
                         session.metrics.counter("session_shrinks").inc()
                         del blame[key]
-                backoff = min(
-                    cfg.backoff_cap,
-                    cfg.backoff_base * cfg.backoff_factor ** (consecutive - 1),
-                )
+                backoff = backoff_policy.delay(consecutive)
                 clock += backoff
                 backoff_time += backoff
                 session.add_phase("backoff", backoff)

@@ -23,12 +23,29 @@ _ENGINE_EXPORTS = (
     "run_serving",
 )
 
+#: The fleet pulls in the engine (and resilience); lazy for the same reason.
+_FLEET_EXPORTS = (
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet_serving",
+)
+
+#: The router shares :class:`repro.resilience.BackoffPolicy` with the
+#: supervisor, and importing that package pulls the elastic-training stack
+#: (-> parallel -> amp), so it must stay lazy too.
+_ROUTER_EXPORTS = (
+    "ReplicaRouter",
+    "ReplicaState",
+)
+
 __all__ = [
     "KVCache",
     "KVLayerView",
     "ContinuousBatchScheduler",
     "Request",
     *_ENGINE_EXPORTS,
+    *_FLEET_EXPORTS,
+    *_ROUTER_EXPORTS,
 ]
 
 
@@ -37,4 +54,12 @@ def __getattr__(name):
         from repro.serve import engine
 
         return getattr(engine, name)
+    if name in _FLEET_EXPORTS:
+        from repro.serve import fleet
+
+        return getattr(fleet, name)
+    if name in _ROUTER_EXPORTS:
+        from repro.serve import router
+
+        return getattr(router, name)
     raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")

@@ -93,6 +93,22 @@ class ServeConfig:
     #: Give the run a live metric registry + router telemetry
     #: (``result.context.metrics`` / ``.router``).
     observe: bool = False
+    #: SLO classes for the synthetic workload: tier 0 is premium; with
+    #: >1 tiers, requests draw a uniform tier from a dedicated rng stream
+    #: (the token/arrival streams are untouched, so single-tier workloads
+    #: stay bit-identical to historical ones).
+    num_tiers: int = 1
+    #: Load shedding: arrived requests of tier >= shed_tier are rejected
+    #: while the per-rank backlog exceeds ``queue_depth`` (None = never).
+    shed_tier: int | None = None
+    #: Backlog cap (arrived waiting + active) that triggers shedding;
+    #: defaults to ``2 * max_batch_size`` when ``shed_tier`` is set.
+    queue_depth: int | None = None
+    #: Total committed KV tokens allowed across a rank's cache rows (the
+    #: paged pool's memory pressure). When an iteration would overflow it,
+    #: the engine evicts the lowest-priority active slot and retries the
+    #: admit instead of ferrying a fatal CacheOverflow out of the run.
+    kv_token_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.ep_size < 1:
@@ -146,6 +162,34 @@ class ServeConfig:
             raise ConfigError(
                 f"overlap_chunks must be >= 1, got {self.overlap_chunks}"
             )
+        if self.num_tiers < 1:
+            raise ConfigError(f"num_tiers must be >= 1, got {self.num_tiers}")
+        if self.shed_tier is not None and not 0 <= self.shed_tier < self.num_tiers:
+            raise ConfigError(
+                f"shed_tier must be in [0, num_tiers={self.num_tiers}), "
+                f"got {self.shed_tier}"
+            )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ConfigError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.kv_token_budget is not None:
+            per_request = pmax + self.max_new_tokens
+            if self.kv_token_budget < per_request:
+                raise ConfigError(
+                    f"kv_token_budget={self.kv_token_budget} cannot hold even "
+                    f"one request ({per_request} tokens); raise the budget or "
+                    "shrink prompts"
+                )
+
+    @property
+    def effective_queue_depth(self) -> int | None:
+        """Backlog cap for shedding (default 2x batch when shedding is on)."""
+        if self.queue_depth is not None:
+            return self.queue_depth
+        if self.shed_tier is not None:
+            return 2 * self.max_batch_size
+        return None
 
 
 @dataclass
@@ -168,6 +212,8 @@ class ServeResult:
     clocks: list[float] = field(default_factory=list)
     context: Any = None
     meta: dict = field(default_factory=dict)
+    #: Requests rejected by admission-control load shedding.
+    shed: int = 0
 
     @property
     def throughput(self) -> float:
@@ -185,6 +231,7 @@ class ServeResult:
             "num_requests": self.config.num_requests,
             "completed": self.completed,
             "evicted": self.evicted,
+            "shed": self.shed,
             "decode_tokens": self.decode_tokens,
             "simulated_time": self.simulated_time,
             "throughput_tok_s": self.throughput,
@@ -259,6 +306,12 @@ def build_requests(cfg: ServeConfig) -> list[Request]:
     pmax = cfg.prompt_len_max if cfg.prompt_len_max is not None else cfg.prompt_len
     lens = rng.integers(cfg.prompt_len, pmax + 1, size=n)
     slo = None if cfg.slo_ms is None else cfg.slo_ms / 1e3
+    if cfg.num_tiers > 1:
+        # Dedicated stream: tiering never perturbs prompts or arrivals.
+        tier_rng = np.random.default_rng(derive_seed(cfg.seed, "serve-tiers"))
+        tiers = tier_rng.integers(0, cfg.num_tiers, size=n)
+    else:
+        tiers = np.zeros(n, dtype=np.int64)
     return [
         Request(
             rid=i,
@@ -266,6 +319,7 @@ def build_requests(cfg: ServeConfig) -> list[Request]:
             max_new_tokens=cfg.max_new_tokens,
             arrival=float(arrivals[i]),
             slo=slo,
+            tier=int(tiers[i]),
         )
         for i in range(n)
     ]
@@ -321,7 +375,12 @@ def _sample_token(
     return int(rng.choice(probs.size, p=probs))
 
 
-def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> dict:
+def _serve_rank(
+    comm: Comm,
+    cfg: ServeConfig,
+    machine: MachineSpec | None,
+    requests: list[Request] | None = None,
+) -> dict:
     """The SPMD rank program: one scheduler + model + cache per rank."""
     timer = (
         DecodeTimer(cfg.model, machine)
@@ -330,9 +389,12 @@ def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> di
     )
     model = _build_serve_model(cfg, comm, timer)
     sched = ContinuousBatchScheduler(
-        cfg.max_batch_size if cfg.batching == "continuous" else 1
+        cfg.max_batch_size if cfg.batching == "continuous" else 1,
+        queue_depth=cfg.effective_queue_depth,
+        shed_tier=cfg.shed_tier,
     )
-    for i, req in enumerate(build_requests(cfg)):
+    workload = build_requests(cfg) if requests is None else requests
+    for i, req in enumerate(workload):
         if i % comm.size == comm.rank:
             sched.submit(req)
     cache = (
@@ -341,6 +403,7 @@ def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> di
             batch_size=sched.max_batch_size,
             capacity=cfg.model.max_seq_len,
             block_size=cfg.kv_block,
+            token_budget=cfg.kv_token_budget,
         )
         if cfg.use_cache
         else None
@@ -363,16 +426,68 @@ def _serve_rank(comm: Comm, cfg: ServeConfig, machine: MachineSpec | None) -> di
                     drop_fraction=float(getattr(m, "last_drop_fraction", 0.0) or 0.0),
                 )
 
+    def shed_and_release(now: float) -> None:
+        """Admission control + free the cache rows of retired requests."""
+        for req in sched.shed_overloaded(now):
+            if context is not None and comm.rank == 0:
+                context.record_event("shed", t=now, rid=req.rid, tier=req.tier)
+                context.metrics.counter("serve_shed", tier=req.tier).inc()
+        for req in sched.preempt_for_premium(now):
+            if context is not None and comm.rank == 0:
+                context.record_event("preempt", t=now, rid=req.rid, tier=req.tier)
+                context.metrics.counter("serve_preempted", tier=req.tier).inc()
+        if cache is not None and cache.token_budget is not None:
+            held = {req.slot for req in sched.active}
+            stale = [s for s in range(cache.batch_size) if s not in held]
+            if stale:
+                cache.reset(stale)
+
+    def relieve_cache_pressure(admitted: list[Request]) -> None:
+        """Evict lowest-priority slots until the planned commit fits.
+
+        Graceful degradation: instead of letting the forward's commit blow
+        the token budget (a fatal :class:`CacheOverflow`), sacrifice the
+        lowest-priority active request — highest tier, youngest — reclaim
+        its row, and keep serving everyone else.
+        """
+        if cache is None or cache.token_budget is None:
+            return
+        while True:
+            planned = sum(
+                int(req.prompt.size) if req in admitted else 1
+                for req in sched.active
+            )
+            if cache.fits(planned):
+                return
+            victim = sched.lowest_priority_active()
+            if victim is None:
+                return
+            slot = victim.slot
+            now = comm.clock
+            sched.evict(victim, now, reason="cache")
+            cache.reset([slot])
+            if victim in admitted:
+                admitted.remove(victim)
+            if context is not None and comm.rank == 0:
+                context.record_event(
+                    "cache_evict", t=now, rid=victim.rid, tier=victim.tier
+                )
+                context.metrics.counter(
+                    "serve_cache_evictions", tier=victim.tier
+                ).inc()
+
     def decode_step() -> None:
         """One mixed prefill+decode forward over the active slots."""
         now = comm.clock
         for req in sched.evict_expired(now):
             if context is not None and comm.rank == 0:
                 context.record_event("evict", t=now, rid=req.rid)
+        shed_and_release(now)
         admitted = sched.admit(now)
         if cache is not None:
             for req in admitted:
                 cache.reset([req.slot])
+        relieve_cache_pressure(admitted)
         t0 = comm.clock
         if not sched.active:
             # Idle rank: dummy uncached forward with the same collective
@@ -452,6 +567,8 @@ def run_serving(
     cfg: ServeConfig,
     network: Any | None = None,
     machine: MachineSpec | None = None,
+    requests: list[Request] | None = None,
+    faults: Any | None = None,
 ) -> ServeResult:
     """Serve the synthetic workload on ``ep_size`` simulated ranks.
 
@@ -460,6 +577,13 @@ def run_serving(
     alltoall). Returns aggregated counts, latency histograms (TTFT and
     per-decoded-token, in virtual seconds), per-request records, and the
     merged :class:`~repro.simmpi.RunContext`.
+
+    ``requests`` overrides the synthetic workload (the fleet router passes
+    each replica its assigned share); ``faults`` is a
+    :class:`~repro.simmpi.FaultPlan` / :class:`~repro.simmpi.FaultModel`
+    forwarded to the SPMD engine — a crashed rank surfaces as a
+    :class:`~repro.errors.ReproError` with partial clocks/context attached,
+    which the fleet turns into a re-dispatch.
     """
     if network is None:
         network = sunway_network(cfg.ep_size, supernode_size=cfg.supernode_size)
@@ -473,12 +597,13 @@ def run_serving(
         timeout=cfg.timeout,
         trace=cfg.trace,
         observe=cfg.observe,
-        args=(cfg, machine),
+        faults=faults,
+        args=(cfg, machine, requests),
     )
     records: list[dict] = []
     ttft = LatencyStats("ttft")
     token_latency = LatencyStats("token")
-    completed = evicted = decode_tokens = 0
+    completed = evicted = decode_tokens = shed = 0
     for ret in spmd.returns:
         records.extend(ret["records"])
         token_latency.extend(ret["token_lat"])
@@ -490,6 +615,8 @@ def run_serving(
                     ttft.add(rec["ttft"])
             elif rec["state"] == "evicted":
                 evicted += 1
+            elif rec["state"] == "shed":
+                shed += 1
     records.sort(key=lambda r: r["rid"])
     context = spmd.context
     if context is not None and context.observing:
@@ -509,6 +636,7 @@ def run_serving(
         config=cfg,
         completed=completed,
         evicted=evicted,
+        shed=shed,
         decode_tokens=decode_tokens,
         simulated_time=spmd.simulated_time,
         ttft=ttft,

@@ -1,0 +1,575 @@
+"""Fault-tolerant serving fleet: replicated engines behind a retry router.
+
+One serving world (:func:`~repro.serve.engine.run_serving`) dies with its
+ranks: a single injected fault kills every in-flight request. At BaGuaLu
+scale that is not an acceptable serving story — production inference runs
+N independent replicas behind a router that re-dispatches the victims of
+a crash to survivors. This module reproduces that loop on the simulated
+machine:
+
+* **replicas** — each replica is an independent ``ep_size``-rank simmpi
+  world running the unmodified continuous-batching engine, with its own
+  seeded :class:`~repro.simmpi.FaultModel` (MTBF crashes), so replica
+  failure streams are independent and reproducible;
+* **router** — :class:`~repro.serve.router.ReplicaRouter` scores replicas
+  by estimated completion (health + backoff + learned service time) and
+  assigns each pending request deterministically;
+* **retries** — a crashed replica surfaces as a
+  :class:`~repro.errors.ReproError` with partial clocks/context attached;
+  every request it held is re-dispatched to a survivor and *re-prefilled*
+  (the KV cache died with the replica). Decoding is deterministic given
+  the prompt, so a re-dispatched request produces exactly the tokens the
+  crashed attempt would have. Requests that exhaust ``retry_max`` are
+  explicitly evicted (``reason="retries"``) — never silently lost;
+* **hedging** — optionally, a request whose service latency exceeds
+  ``hedge_after_ms`` is speculatively re-dispatched to a second replica;
+  the earlier completion wins (both produce identical tokens);
+* **admission control** — the per-replica engine sheds tier >=
+  ``serve.shed_tier`` arrivals under backlog and evicts the
+  lowest-priority slot under KV-budget pressure (see
+  :class:`~repro.serve.engine.ServeConfig`), so premium-tier latency
+  degrades gracefully instead of collapsing.
+
+All fleet lifecycle events (``fleet_dispatch``, ``replica_crash``,
+``redispatch``, ``retries_exhausted``, ``hedge``, ``timeout``) land on one
+session :class:`~repro.simmpi.RunContext` that absorbs every segment's
+context — including the partial context and flight-recorder dump of
+crashed attempts — exactly like the elastic training supervisor.
+
+A fleet of one with faults disabled collapses to a single
+:func:`run_serving` call on the identical workload, so the resilient path
+is a strict superset of the baseline (bitwise, by regression test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CommunicatorError, ConfigError, ReproError
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.supervisor import classify_failure
+from repro.serve.engine import ServeConfig, build_requests, run_serving
+from repro.serve.router import ReplicaRouter
+from repro.serve.scheduler import Request
+from repro.simmpi import RunContext
+from repro.simmpi.faults import FaultModel
+from repro.train.metrics import LatencyStats
+from repro.utils.seeding import derive_seed
+
+__all__ = ["FleetConfig", "FleetResult", "run_fleet_serving"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A replicated serving deployment over one :class:`ServeConfig`.
+
+    ``mtbf`` is mean virtual seconds between crashes *per replica* (None:
+    healthy fleet). ``retry_max`` bounds re-dispatches per request;
+    ``hedge_after_ms`` / ``request_timeout_ms`` are service-latency
+    thresholds (virtual milliseconds) for speculative re-dispatch and
+    forced retry. Backoff knobs feed the shared
+    :class:`~repro.resilience.BackoffPolicy` — the same schedule the
+    training supervisor waits between relaunches.
+    """
+
+    serve: ServeConfig
+    replicas: int = 2
+    mtbf: float | None = None
+    retry_max: int = 3
+    hedge_after_ms: float | None = None
+    request_timeout_ms: float | None = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap: float = 8.0
+    #: Safety valve on the dispatch loop (retries bound it in practice).
+    max_rounds: int = 64
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if self.mtbf is not None and self.mtbf <= 0:
+            raise ConfigError(
+                f"mtbf must be > 0 virtual seconds, got {self.mtbf}"
+            )
+        if self.retry_max < 0:
+            raise ConfigError(f"retry_max must be >= 0, got {self.retry_max}")
+        if self.hedge_after_ms is not None:
+            if self.hedge_after_ms <= 0:
+                raise ConfigError(
+                    f"hedge_after_ms must be > 0, got {self.hedge_after_ms}"
+                )
+            if self.replicas < 2:
+                raise ConfigError(
+                    "hedging needs >= 2 replicas (a hedge never re-uses "
+                    "the primary)"
+                )
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise ConfigError(
+                f"request_timeout_ms must be > 0, got {self.request_timeout_ms}"
+            )
+        if self.max_rounds < 1:
+            raise ConfigError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        # Delegated: BackoffPolicy owns schedule validation, so the fleet
+        # and the training supervisor reject the same inputs.
+        self.backoff_policy()
+
+    def backoff_policy(self) -> BackoffPolicy:
+        """Capped-exponential schedule crashed replicas wait before reuse."""
+        return BackoffPolicy(
+            base=self.backoff_base,
+            factor=self.backoff_factor,
+            cap=self.backoff_cap,
+        )
+
+
+@dataclass
+class FleetResult:
+    """Outcome of a fleet run; all times are virtual seconds.
+
+    Every admitted request appears in ``requests`` exactly once, with a
+    terminal state (``done`` / ``evicted`` / ``shed``) and a ``reason``
+    for non-completion — the zero-silent-loss invariant the tests sweep.
+    """
+
+    config: FleetConfig
+    completed: int
+    evicted: int
+    shed: int
+    decode_tokens: int
+    #: Fleet makespan (last request outcome / segment end).
+    simulated_time: float
+    ttft: LatencyStats
+    token_latency: LatencyStats
+    requests: list[dict] = field(default_factory=list)
+    crashes: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    timeouts: int = 0
+    #: Requests shed per tier (admission control).
+    shed_by_tier: dict[int, int] = field(default_factory=dict)
+    replica_stats: list[dict] = field(default_factory=list)
+    context: Any = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> float:
+        """Completed decode tokens per virtual second of fleet makespan."""
+        if self.simulated_time <= 0:
+            return 0.0
+        return self.decode_tokens / self.simulated_time
+
+    def metrics_record(self) -> dict[str, Any]:
+        """One flat summary record for :class:`MetricsLogger` / reports."""
+        record = {
+            "replicas": self.config.replicas,
+            "mtbf": self.config.mtbf,
+            "num_requests": self.config.serve.num_requests,
+            "completed": self.completed,
+            "evicted": self.evicted,
+            "shed": self.shed,
+            "decode_tokens": self.decode_tokens,
+            "simulated_time": self.simulated_time,
+            "goodput_tok_s": self.goodput,
+            "crashes": self.crashes,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "timeouts": self.timeouts,
+        }
+        for tier in sorted(self.shed_by_tier):
+            record[f"shed_tier{tier}"] = self.shed_by_tier[tier]
+        record.update(self.ttft.summary(prefix="ttft_"))
+        return record
+
+
+@dataclass
+class _Flight:
+    """Fleet-side state of one request across dispatch attempts."""
+
+    template: Request
+    #: Earliest global virtual time the request may be (re-)dispatched.
+    ready: float
+    attempts: int = 0
+    hedged: bool = False
+    outcome: dict | None = None
+
+    @property
+    def rid(self) -> int:
+        return self.template.rid
+
+
+def _fresh(template: Request, arrival: float) -> Request:
+    """A pristine copy for one dispatch attempt (engines mutate requests)."""
+    return Request(
+        rid=template.rid,
+        prompt=template.prompt.copy(),
+        max_new_tokens=template.max_new_tokens,
+        arrival=arrival,
+        slo=template.slo,
+        tier=template.tier,
+    )
+
+
+def _crash_fields(exc: ReproError) -> dict[str, Any]:
+    """Flight-recorder evidence for a crash event (supervisor convention)."""
+    fields: dict[str, Any] = {}
+    flight = getattr(exc, "flight_dump", None)
+    if flight is not None:
+        blamed = getattr(exc, "rank", None)
+        fields["flight_events"] = sum(
+            len(v) for v in flight.get("ranks", {}).values()
+        )
+        fields["flight_last_op"] = (
+            flight.get("last_op", {}).get(blamed) if blamed is not None else None
+        )
+    return fields
+
+
+def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResult:
+    """Serve the workload on ``replicas`` independent engine worlds.
+
+    Each dispatch round assigns every pending request to the replica the
+    router expects to finish it first, runs one engine segment per loaded
+    replica (arrivals shifted into segment-local time), and folds the
+    outcomes back into global time. Crashed segments re-dispatch their
+    requests to survivors; slow completions are hedged or timed out per
+    the config. The loop terminates because every round either resolves a
+    request or consumes one of its ``retry_max`` attempts.
+    """
+    serve = cfg.serve
+    backoff = cfg.backoff_policy()
+    router = ReplicaRouter(cfg.replicas, backoff=backoff)
+    session = RunContext(trace=serve.trace, observe=serve.observe)
+    faults: list[FaultModel | None] = [
+        FaultModel(seed=derive_seed(serve.seed, "fleet-replica", r), mtbf=cfg.mtbf)
+        if cfg.mtbf is not None
+        else None
+        for r in range(cfg.replicas)
+    ]
+
+    flights = [
+        _Flight(template=req, ready=req.arrival) for req in build_requests(serve)
+    ]
+    by_rid = {f.rid: f for f in flights}
+    hedge_s = None if cfg.hedge_after_ms is None else cfg.hedge_after_ms / 1e3
+    timeout_s = (
+        None if cfg.request_timeout_ms is None else cfg.request_timeout_ms / 1e3
+    )
+
+    ttft = LatencyStats("ttft")
+    token_latency = LatencyStats("token")
+    crashes = retries = hedges = hedge_wins = timeouts = 0
+    fleet_clock = 0.0
+
+    def run_segment(
+        replica: int, group: list[_Flight], seg_t0: float
+    ) -> tuple[Any | None, float]:
+        """One engine world on ``replica``'s fault stream; returns
+        ``(result, end_t)`` — result is None when the segment crashed."""
+        nonlocal crashes, fleet_clock
+        requests = [
+            _fresh(f.template, max(0.0, f.ready - seg_t0))
+            for f in sorted(group, key=lambda f: (f.ready, f.rid))
+        ]
+        session.record_event(
+            "fleet_dispatch", t=seg_t0, replica=replica, requests=len(requests)
+        )
+        router.on_dispatch(replica, len(requests))
+        try:
+            result = run_serving(serve, network=network, requests=requests,
+                                 faults=faults[replica])
+        except ReproError as exc:
+            crashes += 1
+            partial_clocks = getattr(exc, "partial_clocks", None) or [0.0]
+            crash_t = seg_t0 + max(partial_clocks)
+            partial_context = getattr(exc, "partial_context", None)
+            if partial_context is not None:
+                session.absorb(partial_context, clock_offset=seg_t0)
+            down_until = router.on_crash(replica, crash_t)
+            session.record_event(
+                "replica_crash",
+                t=crash_t,
+                replica=replica,
+                failure=classify_failure(exc),
+                rank=getattr(exc, "rank", None),
+                requests=len(requests),
+                down_until=down_until,
+                **_crash_fields(exc),
+            )
+            session.metrics.counter(
+                "fleet_crashes", failure=classify_failure(exc)
+            ).inc()
+            fleet_clock = max(fleet_clock, crash_t)
+            return None, crash_t
+        end_t = seg_t0 + result.simulated_time
+        if result.context is not None:
+            session.absorb(result.context, clock_offset=seg_t0)
+        router.on_segment_done(replica, seg_t0, end_t, result.completed)
+        fleet_clock = max(fleet_clock, end_t)
+        return result, end_t
+
+    def retry_or_evict(flight: _Flight, at: float, why: str) -> None:
+        """Schedule a re-dispatch, or explicitly evict past the budget."""
+        nonlocal retries
+        flight.attempts += 1
+        if flight.attempts > cfg.retry_max:
+            flight.outcome = {
+                "rid": flight.rid,
+                "tier": flight.template.tier,
+                "state": "evicted",
+                "reason": "retries",
+                "arrival": flight.template.arrival,
+                "attempts": flight.attempts,
+                "replica": None,
+                "finish": at,
+                "generated": 0,
+                "tokens": [],
+                "ttft": None,
+                "latency": None,
+                "hedged": flight.hedged,
+            }
+            session.record_event(
+                "retries_exhausted", t=at, rid=flight.rid,
+                attempts=flight.attempts,
+            )
+            session.metrics.counter("fleet_retries_exhausted").inc()
+        else:
+            retries += 1
+            # A replica can crash before one of its requests even arrived;
+            # re-dispatch never schedules ahead of the original arrival.
+            flight.ready = max(at, flight.template.arrival)
+            session.record_event(
+                "redispatch", t=at, rid=flight.rid, attempt=flight.attempts,
+                why=why,
+            )
+            session.metrics.counter("fleet_retries", why=why).inc()
+
+    def settle(flight: _Flight, rec: dict, replica: int, seg_t0: float) -> None:
+        """Fold one segment record into the flight's global outcome."""
+        nonlocal timeouts
+        dispatch_g = seg_t0 + rec["arrival"]
+        if rec["state"] == "done":
+            finish_g = seg_t0 + rec["finish"]
+            service = rec["latency"]
+            if timeout_s is not None and service > timeout_s:
+                timeouts += 1
+                session.record_event(
+                    "timeout", t=dispatch_g + timeout_s, rid=flight.rid,
+                    service=service,
+                )
+                session.metrics.counter("fleet_timeouts").inc()
+                retry_or_evict(flight, dispatch_g + timeout_s, why="timeout")
+                return
+            first_token_g = (
+                None if rec["ttft"] is None
+                else dispatch_g + rec["ttft"]
+            )
+            flight.outcome = {
+                "rid": flight.rid,
+                "tier": rec["tier"],
+                "state": "done",
+                "reason": None,
+                "arrival": flight.template.arrival,
+                "attempts": flight.attempts,
+                "replica": replica,
+                "dispatch": dispatch_g,
+                "first_token": first_token_g,
+                "finish": finish_g,
+                "generated": rec["generated"],
+                "tokens": rec["tokens"],
+                "ttft": (
+                    None if first_token_g is None
+                    else first_token_g - flight.template.arrival
+                ),
+                "latency": finish_g - flight.template.arrival,
+                "hedged": flight.hedged,
+            }
+        else:
+            # Explicit in-segment eviction (slo/cache) or admission shed —
+            # a terminal outcome with its reason preserved.
+            flight.outcome = {
+                "rid": flight.rid,
+                "tier": rec["tier"],
+                "state": rec["state"],
+                "reason": rec["reason"],
+                "arrival": flight.template.arrival,
+                "attempts": flight.attempts,
+                "replica": replica,
+                "finish": (
+                    None if rec["finish"] is None else seg_t0 + rec["finish"]
+                ),
+                "generated": rec["generated"],
+                "tokens": rec["tokens"],
+                "ttft": None,
+                "latency": None,
+                "hedged": flight.hedged,
+            }
+
+    def run_hedges(candidates: list[_Flight]) -> None:
+        """Speculatively re-dispatch slow completions to second replicas."""
+        nonlocal hedges, hedge_wins
+        groups: dict[int, list[_Flight]] = {}
+        for flight in candidates:
+            alt = router.pick(
+                flight.outcome["dispatch"] + hedge_s,
+                exclude=(flight.outcome["replica"],),
+            )
+            if alt is None:
+                continue
+            flight.hedged = True
+            flight.outcome["hedged"] = True
+            groups.setdefault(alt.index, []).append(flight)
+        for replica in sorted(groups):
+            group = groups[replica]
+            seg_t0 = max(
+                router.states[replica].available_at,
+                min(f.outcome["dispatch"] + hedge_s for f in group),
+            )
+            hedges += len(group)
+            for flight in group:
+                session.record_event(
+                    "hedge", t=seg_t0, rid=flight.rid,
+                    primary=flight.outcome["replica"], replica=replica,
+                )
+            session.metrics.counter("fleet_hedges").inc(len(group))
+            saved_ready = {f.rid: f.ready for f in group}
+            for flight in group:
+                flight.ready = flight.outcome["dispatch"] + hedge_s
+            result, _ = run_segment(replica, group, seg_t0)
+            for flight in group:
+                flight.ready = saved_ready[flight.rid]
+            if result is None:
+                continue  # hedge replica crashed; primaries stand
+            for rec in result.requests:
+                flight = by_rid[rec["rid"]]
+                if rec["state"] != "done":
+                    continue
+                finish_g = seg_t0 + rec["finish"]
+                if finish_g < flight.outcome["finish"]:
+                    hedge_wins += 1
+                    session.metrics.counter("fleet_hedge_wins").inc()
+                    dispatch_g = seg_t0 + rec["arrival"]
+                    first_token_g = (
+                        None if rec["ttft"] is None
+                        else dispatch_g + rec["ttft"]
+                    )
+                    flight.outcome.update(
+                        replica=replica,
+                        dispatch=dispatch_g,
+                        first_token=first_token_g,
+                        finish=finish_g,
+                        ttft=(
+                            None if first_token_g is None
+                            else first_token_g - flight.template.arrival
+                        ),
+                        latency=finish_g - flight.template.arrival,
+                    )
+
+    rounds = 0
+    while any(f.outcome is None for f in flights):
+        rounds += 1
+        if rounds > cfg.max_rounds:
+            raise CommunicatorError(
+                f"fleet dispatch did not converge in {cfg.max_rounds} rounds"
+            )
+        pending = sorted(
+            (f for f in flights if f.outcome is None),
+            key=lambda f: (f.ready, f.rid),
+        )
+        assignment: dict[int, list[_Flight]] = {}
+        for flight in pending:
+            choice = router.pick(flight.ready)
+            assignment.setdefault(choice.index, []).append(flight)
+            # Count queued work immediately so the next pick balances.
+            router.on_dispatch(choice.index, 1)
+        round_done: list[_Flight] = []
+        for replica in sorted(assignment):
+            group = assignment[replica]
+            state = router.states[replica]
+            # on_dispatch above already queued the group; reset before the
+            # segment re-counts it, so outstanding is not double-counted.
+            state.outstanding = 0
+            seg_t0 = state.available_at
+            result, end_t = run_segment(replica, group, seg_t0)
+            if result is None:
+                for flight in group:
+                    retry_or_evict(flight, end_t, why="crash")
+                continue
+            for rec in result.requests:
+                flight = by_rid[rec["rid"]]
+                settle(flight, rec, replica, seg_t0)
+                if flight.outcome is not None and flight.outcome["state"] == "done":
+                    round_done.append(flight)
+            token_latency.extend(result.token_latency.samples)
+        if hedge_s is not None:
+            candidates = [
+                f for f in round_done
+                if not f.hedged
+                and f.outcome["finish"] - f.outcome["dispatch"] > hedge_s
+            ]
+            if candidates:
+                run_hedges(candidates)
+
+    records = sorted((f.outcome for f in flights), key=lambda r: r["rid"])
+    completed = evicted = shed = decode_tokens = 0
+    shed_by_tier: dict[int, int] = {}
+    for rec in records:
+        if rec["state"] == "done":
+            completed += 1
+            decode_tokens += rec["generated"]
+            if rec["ttft"] is not None:
+                ttft.add(rec["ttft"])
+        elif rec["state"] == "shed":
+            shed += 1
+            shed_by_tier[rec["tier"]] = shed_by_tier.get(rec["tier"], 0) + 1
+        else:
+            evicted += 1
+            decode_tokens += rec["generated"]
+        if rec["finish"] is not None:
+            fleet_clock = max(fleet_clock, rec["finish"])
+
+    registry = session.metrics
+    registry.counter("fleet_completed").inc(completed)
+    registry.counter("fleet_evicted").inc(evicted)
+    for tier in sorted(shed_by_tier):
+        registry.counter("fleet_shed", tier=tier).inc(shed_by_tier[tier])
+    registry.counter("fleet_decode_tokens").inc(decode_tokens)
+    goodput = decode_tokens / fleet_clock if fleet_clock > 0 else 0.0
+    registry.gauge("fleet_goodput_tok_s").set(goodput)
+    registry.gauge("fleet_makespan_seconds").set(fleet_clock)
+
+    return FleetResult(
+        config=cfg,
+        completed=completed,
+        evicted=evicted,
+        shed=shed,
+        decode_tokens=decode_tokens,
+        simulated_time=fleet_clock,
+        ttft=ttft,
+        token_latency=token_latency,
+        requests=records,
+        crashes=crashes,
+        retries=retries,
+        hedges=hedges,
+        hedge_wins=hedge_wins,
+        timeouts=timeouts,
+        shed_by_tier=shed_by_tier,
+        replica_stats=[
+            {
+                "replica": s.index,
+                "completed": s.completed,
+                "crashes": s.crashes,
+                "busy_time": s.busy_time,
+                "free_at": s.free_at,
+            }
+            for s in router.states
+        ],
+        context=session,
+        meta={
+            "replicas": cfg.replicas,
+            "ep_size": serve.ep_size,
+            "rounds": rounds,
+        },
+    )

@@ -41,6 +41,12 @@ class KVCache:
         :class:`~repro.errors.CacheOverflow`.
     block_size:
         Allocation granularity in tokens (paged growth).
+    token_budget:
+        Optional cap on *total* committed tokens across all rows — the
+        shared-memory pressure a real paged KV pool has. ``commit`` past
+        the budget raises :class:`~repro.errors.CacheOverflow`; engines
+        are expected to check :meth:`fits` first and evict a low-priority
+        row instead of ever hitting the error (graceful degradation).
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class KVCache:
         capacity: int,
         block_size: int = 8,
         dtype=np.float32,
+        token_budget: int | None = None,
     ):
         if min(num_layers, batch_size, n_heads, head_dim, capacity) < 1:
             raise ConfigError(
@@ -60,12 +67,15 @@ class KVCache:
             )
         if block_size < 1:
             raise ConfigError(f"block_size must be >= 1, got {block_size}")
+        if token_budget is not None and token_budget < 1:
+            raise ConfigError(f"token_budget must be >= 1, got {token_budget}")
         self.num_layers = num_layers
         self.batch_size = batch_size
         self.n_heads = n_heads
         self.head_dim = head_dim
         self.capacity = capacity
         self.block_size = block_size
+        self.token_budget = token_budget
         self.dtype = dtype
         self._alloc = 0
         shape = (batch_size, n_heads, 0, head_dim)
@@ -81,6 +91,7 @@ class KVCache:
         batch_size: int,
         capacity: int | None = None,
         block_size: int = 8,
+        token_budget: int | None = None,
     ) -> "KVCache":
         """Build a cache sized for ``model`` (a model or a ModelConfig)."""
         cfg = getattr(model, "config", model)
@@ -91,6 +102,7 @@ class KVCache:
             head_dim=cfg.d_model // cfg.n_heads,
             capacity=cfg.max_seq_len if capacity is None else capacity,
             block_size=block_size,
+            token_budget=token_budget,
         )
 
     # ------------------------------------------------------------------ #
@@ -99,6 +111,17 @@ class KVCache:
     def max_length(self) -> int:
         """Longest committed row."""
         return int(self.lengths.max())
+
+    @property
+    def committed_tokens(self) -> int:
+        """Total committed tokens across all rows (budget accounting)."""
+        return int(self.lengths.sum())
+
+    def fits(self, new_tokens: int) -> bool:
+        """Would committing ``new_tokens`` more stay within the budget?"""
+        if self.token_budget is None:
+            return True
+        return self.committed_tokens + int(new_tokens) <= self.token_budget
 
     @property
     def allocated_tokens(self) -> int:
@@ -138,6 +161,13 @@ class KVCache:
             raise CacheOverflow(
                 f"commit to {int(new.max())} tokens exceeds capacity "
                 f"{self.capacity}"
+            )
+        if not self.fits(int(valid.sum())):
+            raise CacheOverflow(
+                f"commit of {int(valid.sum())} tokens would push the cache "
+                f"to {self.committed_tokens + int(valid.sum())} committed "
+                f"tokens, over the {self.token_budget}-token budget; evict "
+                "a row first"
             )
         self.lengths[rows] = new
 

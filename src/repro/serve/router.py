@@ -1,0 +1,150 @@
+"""Replica router: health-checked, load-aware dispatch for a serving fleet.
+
+The router is the policy half of the fault-tolerant fleet
+(:mod:`repro.serve.fleet` is the mechanism half). It tracks per-replica
+health on the virtual clock — a crashed replica is *down* until its
+capped-exponential backoff (:class:`~repro.resilience.BackoffPolicy`, the
+same schedule the training supervisor uses) expires — and scores dispatch
+candidates by estimated completion time:
+
+    score(replica) = max(available_at, request_ready) + mean_service * outstanding
+
+i.e. "when could this replica start, plus how much queued work sits in
+front of you", with the mean per-request service time learned from
+completed segments. Ties break toward the least-loaded, then
+lowest-index replica, so dispatch is deterministic and, before any
+service time has been observed, exactly round-robin.
+
+Everything here is pure bookkeeping on virtual timestamps — no threads,
+no wall clock — so fleet schedules are reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.resilience.backoff import BackoffPolicy
+
+__all__ = ["ReplicaRouter", "ReplicaState"]
+
+
+@dataclass
+class ReplicaState:
+    """Health + load bookkeeping for one serving replica (virtual time)."""
+
+    index: int
+    #: When the replica finishes its currently dispatched segment.
+    free_at: float = 0.0
+    #: Crash recovery: no dispatch before this time (backoff gate).
+    down_until: float = 0.0
+    #: Requests currently dispatched and not yet resolved.
+    outstanding: int = 0
+    crashes: int = 0
+    #: Consecutive failed segments (drives the backoff exponent).
+    consecutive_failures: int = 0
+    completed: int = 0
+    #: Virtual seconds of segment makespan this replica has executed.
+    busy_time: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def available_at(self) -> float:
+        """Earliest virtual time the replica can start new work."""
+        return max(self.free_at, self.down_until)
+
+    def healthy(self, now: float) -> bool:
+        """Is the replica past its crash backoff at ``now``?"""
+        return now >= self.down_until
+
+
+class ReplicaRouter:
+    """Deterministic dispatch + health policy over ``replicas`` replicas."""
+
+    def __init__(self, replicas: int, backoff: BackoffPolicy | None = None):
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.states = [ReplicaState(index=i) for i in range(replicas)]
+        self._service_time = 0.0
+        self._service_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Dispatch policy
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean_service(self) -> float:
+        """Learned mean virtual seconds per completed request (0 = unknown)."""
+        if self._service_count == 0:
+            return 0.0
+        return self._service_time / self._service_count
+
+    def score(self, state: ReplicaState, ready: float) -> float:
+        """Estimated start-plus-queue time for a request ready at ``ready``."""
+        return max(state.available_at, ready) + self.mean_service * state.outstanding
+
+    def pick(
+        self, ready: float, exclude: tuple[int, ...] = ()
+    ) -> ReplicaState | None:
+        """The replica estimated to serve a request ready at ``ready`` first.
+
+        ``exclude`` removes candidates (a hedge never re-uses the primary).
+        Returns None when every replica is excluded.
+        """
+        candidates = [s for s in self.states if s.index not in exclude]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda s: (self.score(s, ready), s.outstanding, s.index),
+        )
+
+    def on_dispatch(self, replica: int, n: int = 1) -> None:
+        """Record ``n`` requests dispatched to ``replica``."""
+        self.states[replica].outstanding += n
+
+    # ------------------------------------------------------------------ #
+    # Health transitions
+    # ------------------------------------------------------------------ #
+
+    def on_segment_done(
+        self, replica: int, t_start: float, t_end: float, served: int
+    ) -> None:
+        """A segment on ``replica`` over ``[t_start, t_end]`` served OK."""
+        state = self.states[replica]
+        state.free_at = t_end
+        state.outstanding = 0
+        state.consecutive_failures = 0
+        state.completed += served
+        state.busy_time += max(0.0, t_end - t_start)
+        if served > 0:
+            self._service_time += max(0.0, t_end - t_start)
+            self._service_count += served
+
+    def on_crash(self, replica: int, crash_t: float) -> float:
+        """Mark ``replica`` crashed at ``crash_t``; returns its down-until.
+
+        The replica is unavailable until the capped-exponential backoff
+        for its consecutive-failure count expires — the same schedule the
+        elastic training supervisor waits between relaunches.
+        """
+        state = self.states[replica]
+        state.crashes += 1
+        state.consecutive_failures += 1
+        state.outstanding = 0
+        state.free_at = crash_t
+        state.down_until = crash_t + self.backoff.delay(state.consecutive_failures)
+        return state.down_until
+
+    def next_recovery(self, now: float) -> float:
+        """Earliest down-until among replicas still in backoff (inf if none)."""
+        pending = [s.down_until for s in self.states if s.down_until > now]
+        return min(pending) if pending else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicaRouter(replicas={len(self.states)}, "
+            f"mean_service={self.mean_service:.4g}, "
+            f"crashes={[s.crashes for s in self.states]})"
+        )

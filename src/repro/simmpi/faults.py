@@ -61,6 +61,10 @@ class FaultPlan:
     message_faults: list[MessageFault] = field(default_factory=list)
     #: rank -> operation index at which the rank raises FaultInjected.
     kill_rank_at_op: dict[int, int] = field(default_factory=dict)
+    #: rank -> virtual time (seconds) past which the rank dies at its next
+    #: communication operation — scripted *mid-run* crashes whose position
+    #: in the timeline does not depend on how many ops preceded them.
+    kill_rank_at_time: dict[int, float] = field(default_factory=dict)
 
     _edge_counts: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
 
@@ -71,6 +75,13 @@ class FaultPlan:
     def kill_rank(self, rank: int, at_op: int = 0) -> "FaultPlan":
         """Schedule ``rank`` to die when it issues its ``at_op``-th operation."""
         self.kill_rank_at_op[rank] = at_op
+        return self
+
+    def kill_rank_at(self, rank: int, at_time: float) -> "FaultPlan":
+        """Schedule ``rank`` to die at its first op past virtual ``at_time``."""
+        if at_time < 0:
+            raise ConfigError(f"kill time must be >= 0 seconds, got {at_time}")
+        self.kill_rank_at_time[rank] = float(at_time)
         return self
 
     # ------------------------------------------------------------------ #
@@ -92,9 +103,12 @@ class FaultPlan:
         return None
 
     def should_kill(self, rank: int, op_index: int, clock: float = 0.0) -> bool:
-        """True when ``rank`` must abort at ``op_index``."""
+        """True when ``rank`` must abort at ``op_index`` / virtual ``clock``."""
         target = self.kill_rank_at_op.get(rank)
-        return target is not None and op_index >= target
+        if target is not None and op_index >= target:
+            return True
+        t_kill = self.kill_rank_at_time.get(rank)
+        return t_kill is not None and clock >= t_kill
 
     def compute_scale(self, rank: int) -> float:
         """Compute-time multiplier for ``rank`` (1.0 = healthy)."""
