@@ -50,6 +50,8 @@ from repro.resilience import (
 
 # Serving: KV cache + continuous batching on EP ranks, replicated fleet -----
 from repro.serve import (
+    Autoscaler,
+    AutoscalerConfig,
     ContinuousBatchScheduler,
     FleetConfig,
     FleetResult,
@@ -85,15 +87,24 @@ from repro.train.metrics import LatencyStats, MetricsLogger, read_jsonl
 
 # Observability: registry, profilers, flight recorder, reports --------------
 from repro.obs import (
+    BurnRateWindow,
     CommProfile,
     FlightRecorder,
     MetricRegistry,
     RouterTelemetry,
+    SlidingWindow,
+    SLOMonitor,
+    SLOObjective,
+    Span,
+    Tracer,
     build_report,
     collect_run_records,
     generate_run_report,
     profile_comm,
+    slo_report,
+    span_coverage,
     to_prometheus,
+    tumbling_windows,
 )
 
 __all__ = [
@@ -120,6 +131,8 @@ __all__ = [
     "Supervisor",
     "run_elastic_training",
     # serving
+    "Autoscaler",
+    "AutoscalerConfig",
     "ContinuousBatchScheduler",
     "FleetConfig",
     "FleetResult",
@@ -156,13 +169,22 @@ __all__ = [
     "MetricsLogger",
     "read_jsonl",
     # observability
+    "BurnRateWindow",
     "CommProfile",
     "FlightRecorder",
     "MetricRegistry",
     "RouterTelemetry",
+    "SlidingWindow",
+    "SLOMonitor",
+    "SLOObjective",
+    "Span",
+    "Tracer",
     "build_report",
     "collect_run_records",
     "generate_run_report",
     "profile_comm",
+    "slo_report",
+    "span_coverage",
     "to_prometheus",
+    "tumbling_windows",
 ]

@@ -245,6 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="carry a live metric registry + router "
                             "telemetry; JSONL metrics gain typed "
                             "observability records for 'report'")
+    p_srv.add_argument("--arrival-ramp", default=None, metavar="T:RATE,...",
+                       help="piecewise-constant Poisson arrival schedule, "
+                            "e.g. '0:2,10:8,20:32' (first segment must "
+                            "start at 0; excludes --arrival-rate)")
+    p_srv.add_argument("--autoscale", action="store_true",
+                       help="grow/shrink the replica set from windowed "
+                            "TTFT p95 + backlog signals (engages the "
+                            "fleet path; --replicas is the floor)")
+    p_srv.add_argument("--max-replicas", type=int, default=4,
+                       help="autoscaler ceiling on live replicas")
+    p_srv.add_argument("--ttft-slo-ms", type=float, default=None,
+                       help="premium-tier TTFT objective in virtual ms; "
+                            "runs a burn-rate SLO monitor (and sets the "
+                            "autoscaler target, default 500ms)")
+    p_srv.add_argument("--span-dump", default=None, metavar="OUT_JSON",
+                       help="write the per-request span trees as "
+                            "deterministic JSON (implies --observe)")
 
     p_rep = sub.add_parser(
         "report",
@@ -555,6 +572,22 @@ def _cmd_resilient(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_arrival_ramp(spec: str):
+    """``'0:2,10:8'`` -> ``((0.0, 2.0), (10.0, 8.0))`` for ServeConfig."""
+    from repro.errors import ConfigError
+
+    try:
+        segments = tuple(
+            (float(part.split(":")[0]), float(part.split(":")[1]))
+            for part in spec.split(",")
+        )
+    except (ValueError, IndexError):
+        raise ConfigError(
+            f"--arrival-ramp expects 'T:RATE,T:RATE,...', got {spec!r}"
+        ) from None
+    return segments
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, run_sequential_baseline, run_serving
 
@@ -566,6 +599,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ep_size=args.ep,
         num_requests=args.requests,
         arrival_rate=args.arrival_rate,
+        arrival_ramp=(
+            _parse_arrival_ramp(args.arrival_ramp)
+            if args.arrival_ramp else None
+        ),
         prompt_len=args.prompt_len,
         prompt_len_max=args.prompt_len_max,
         max_new_tokens=args.max_new,
@@ -582,17 +619,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         kv_token_budget=args.kv_budget,
         trace=args.trace is not None,
-        observe=args.observe,
+        observe=args.observe or args.span_dump is not None,
     )
-    if args.replicas > 1 or args.mtbf is not None:
+    if args.replicas > 1 or args.mtbf is not None or args.autoscale:
         return _serve_fleet(args, serve_cfg)
-    arrival = ("all at t=0" if args.arrival_rate is None
-               else f"Poisson {args.arrival_rate:g} req/s")
+    if args.arrival_ramp:
+        arrival = f"ramp {args.arrival_ramp}"
+    elif args.arrival_rate is not None:
+        arrival = f"Poisson {args.arrival_rate:g} req/s"
+    else:
+        arrival = "all at t=0"
     print(f"serving {args.requests} requests on {args.ep} EP ranks "
           f"(batch={args.batch}, {arrival}"
           + (f", slo={args.slo_ms:g}ms" if args.slo_ms is not None else "")
           + ")")
     result = run_serving(serve_cfg)
+    if args.span_dump:
+        from repro.serve.engine import emit_request_spans
+
+        emit_request_spans(result)
 
     print(f"completed / evicted: {result.completed} / {result.evicted}")
     if result.shed:
@@ -628,7 +673,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if logger.path.suffix == ".jsonl":
                 for rec in result.requests:
                     logger.log({"record": "request", **rec})
-                if args.observe and result.context is not None:
+                if ((args.observe or args.span_dump is not None)
+                        and result.context is not None):
                     from repro.obs import collect_run_records
 
                     logger.log_events(collect_run_records(result.context))
@@ -636,6 +682,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.trace:
         path = result.context.write_chrome_trace(args.trace)
         print(f"chrome trace       : {path}")
+    if args.span_dump and result.context is not None:
+        path = result.context.spans.write_json(args.span_dump)
+        print(f"span dump          : {path}")
     return 0
 
 
@@ -643,6 +692,23 @@ def _serve_fleet(args: argparse.Namespace, serve_cfg) -> int:
     """The replicated path of ``serve``: router + retries + fault injection."""
     from repro.serve import FleetConfig, run_fleet_serving
 
+    autoscale = None
+    slos = ()
+    ttft_slo_ms = args.ttft_slo_ms
+    if args.autoscale:
+        from repro.serve import AutoscalerConfig
+
+        ttft_slo_ms = 500.0 if ttft_slo_ms is None else ttft_slo_ms
+        autoscale = AutoscalerConfig(
+            min_replicas=args.replicas,
+            max_replicas=args.max_replicas,
+            ttft_slo_s=ttft_slo_ms / 1e3,
+        )
+    if ttft_slo_ms is not None:
+        from repro.obs import SLOObjective
+
+        slos = (SLOObjective(name="premium-ttft", threshold_s=ttft_slo_ms / 1e3,
+                             metric="ttft", tier=0),)
     fleet_cfg = FleetConfig(
         serve=serve_cfg,
         replicas=args.replicas,
@@ -651,11 +717,16 @@ def _serve_fleet(args: argparse.Namespace, serve_cfg) -> int:
         hedge_after_ms=args.hedge_after_ms,
         request_timeout_ms=args.request_timeout_ms,
         backoff_base=args.backoff_base,
+        autoscale=autoscale,
+        slos=slos,
     )
     faults = ("healthy" if args.mtbf is None
               else f"mtbf {args.mtbf:g}s per replica")
+    scale = ("" if autoscale is None
+             else f", autoscale {args.replicas}..{args.max_replicas}")
     print(f"fleet: {args.requests} requests over {args.replicas} replicas "
-          f"x {args.ep} EP ranks ({faults}, retry_max={args.retry_max})")
+          f"x {args.ep} EP ranks ({faults}, retry_max={args.retry_max}"
+          f"{scale})")
     result = run_fleet_serving(fleet_cfg)
 
     print(f"completed / evicted: {result.completed} / {result.evicted}")
@@ -672,6 +743,15 @@ def _serve_fleet(args: argparse.Namespace, serve_cfg) -> int:
         print(f"hedges (wins)      : {result.hedges} ({result.hedge_wins})")
     if result.timeouts:
         print(f"timeouts           : {result.timeouts}")
+    if result.config.autoscale is not None:
+        print(f"autoscale          : +{result.scale_ups} / "
+              f"-{result.scale_downs} "
+              f"(final {result.replicas_final} replicas)")
+    for mon in result.slo:
+        s = mon.summary()
+        print(f"slo {s['slo']:<14}: bad {s['bad']}/{s['good'] + s['bad']} "
+              f"alerts fired {s['alerts_fired']} "
+              f"resolved {s['alerts_resolved']}")
     if result.ttft.count:
         print(f"ttft               : p50 {format_time(result.ttft.percentile(50))}"
               f"  p95 {format_time(result.ttft.percentile(95))}")
@@ -686,7 +766,8 @@ def _serve_fleet(args: argparse.Namespace, serve_cfg) -> int:
             if logger.path.suffix == ".jsonl":
                 for rec in result.requests:
                     logger.log({"record": "request", **rec})
-                if args.observe and result.context is not None:
+                if ((args.observe or args.span_dump is not None)
+                        and result.context is not None):
                     from repro.obs import collect_run_records
 
                     logger.log_events(collect_run_records(result.context))
@@ -694,6 +775,9 @@ def _serve_fleet(args: argparse.Namespace, serve_cfg) -> int:
     if args.trace:
         path = result.context.write_chrome_trace(args.trace)
         print(f"chrome trace       : {path}")
+    if args.span_dump and result.context is not None:
+        path = result.context.spans.write_json(args.span_dump)
+        print(f"span dump          : {path}")
     return 0
 
 

@@ -13,6 +13,12 @@ supplies it, layered on the :class:`~repro.simmpi.RunContext` spine:
   telemetry (imbalance / cv / drop timeseries, heatmaps).
 - :mod:`~repro.obs.flight` — bounded per-rank flight recorder, dumped
   automatically onto fault / deadlock / overflow exceptions.
+- :mod:`~repro.obs.spans` — per-request / per-launch span trees on the
+  virtual clock, with causal parent links and Chrome flow export.
+- :mod:`~repro.obs.timeseries` — windowed rates and quantiles over the
+  registry's timestamped streams (tumbling and sliding views).
+- :mod:`~repro.obs.slo` — declarative latency SLOs with a multi-window
+  burn-rate alert engine.
 - :mod:`~repro.obs.export` — Prometheus text exposition, JSONL records,
   enriched Chrome traces.
 - :mod:`~repro.obs.report` — deterministic markdown run reports
@@ -32,6 +38,21 @@ from repro.obs.registry import (
 )
 from repro.obs.report import build_report, collect_run_records, generate_run_report
 from repro.obs.router import RouterSample, RouterTelemetry
+from repro.obs.slo import (
+    BurnRateWindow,
+    SLOMonitor,
+    SLOObjective,
+    default_burn_windows,
+    slo_report,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer, span_coverage
+from repro.obs.timeseries import (
+    SlidingWindow,
+    StreamingQuantile,
+    WindowStat,
+    tumbling_rates,
+    tumbling_windows,
+)
 
 __all__ = [
     "Counter",
@@ -46,6 +67,21 @@ __all__ = [
     "RouterSample",
     "RouterTelemetry",
     "FlightRecorder",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "span_coverage",
+    "WindowStat",
+    "tumbling_windows",
+    "tumbling_rates",
+    "SlidingWindow",
+    "StreamingQuantile",
+    "SLOObjective",
+    "BurnRateWindow",
+    "SLOMonitor",
+    "default_burn_windows",
+    "slo_report",
     "to_prometheus",
     "registry_records",
     "write_enriched_trace",

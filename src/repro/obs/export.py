@@ -9,9 +9,11 @@ One registry, three sinks:
   for :meth:`~repro.train.metrics.MetricsLogger.log_events` — the same
   JSONL stream the trainers already write, so ``report`` reads one file.
 - :func:`write_enriched_trace` upgrades the plain Chrome trace with
-  process/thread naming metadata and lifecycle-event instants, so a
-  recovery session's restarts are visible on the Perfetto timeline next
-  to the collectives they interrupted.
+  process/thread naming metadata, lifecycle-event instants, and — when
+  the context carries spans — a second ``spans`` process of causal
+  request/launch trees with flow events, so a recovery session's
+  restarts and a fleet's per-request latency breakdowns are visible on
+  the Perfetto timeline next to the collectives they interrupted.
 
 All output is deterministic: series are walked in the registry's sorted
 order and label sets render pre-sorted.
@@ -104,9 +106,11 @@ def write_enriched_trace(context: "RunContext", path: str | Path) -> Path:
 
     Adds ``process_name``/``thread_name`` metadata records (ranks sort as
     ``rank N`` lanes) and one instant (``ph=i``) per lifecycle event, so
-    restarts/evictions land on the timeline. Raises
-    :class:`~repro.errors.ConfigError` for an untraced context, same as
-    :meth:`RunContext.write_chrome_trace`.
+    restarts/evictions land on the timeline. Span trees, when present,
+    render as a separate ``spans`` process (pid 1) — one lane per root
+    with ``ph=s``/``ph=f`` flow arrows binding parents to children.
+    Raises :class:`~repro.errors.ConfigError` for an untraced context,
+    same as :meth:`RunContext.write_chrome_trace`.
     """
     if context.trace_events is None:
         raise ConfigError(
@@ -143,7 +147,10 @@ def write_enriched_trace(context: "RunContext", path: str | Path) -> Path:
         }
         for event in context.events
     ]
+    span_events = context.spans.chrome_events(pid=1)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps({"traceEvents": meta + records + instants}))
+    path.write_text(
+        json.dumps({"traceEvents": meta + records + instants + span_events})
+    )
     return path

@@ -71,22 +71,35 @@ class _Instrument:
 
 
 class Counter(_Instrument):
-    """Monotonically increasing total (steps, bytes, tokens, restarts)."""
+    """Monotonically increasing total (steps, bytes, tokens, restarts).
+
+    Passing ``t`` (virtual seconds) to :meth:`inc` additionally records a
+    ``(t, amount)`` mark, which :mod:`repro.obs.timeseries` turns into
+    windowed rates; untimed increments stay exactly as cheap as before.
+    """
 
     kind = "counter"
-    __slots__ = ("value",)
+    __slots__ = ("value", "_marks")
 
     def __init__(self, name: str, labels: LabelSet):
         super().__init__(name, labels)
         self.value = 0.0
+        self._marks: list[tuple[float, float]] = []
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, t: float | None = None) -> None:
         if amount < 0:
             raise ConfigError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
         with self._lock:
             self.value += amount
+            if t is not None:
+                self._marks.append((float(t), float(amount)))
+
+    @property
+    def marks(self) -> list[tuple[float, float]]:
+        """Timestamped ``(t, amount)`` increments, in record order."""
+        return list(self._marks)
 
 
 class Gauge(_Instrument):
@@ -113,23 +126,33 @@ class Histogram(_Instrument):
 
     Samples are stored raw (runs here are small worlds on a simulator);
     summaries flatten to count/sum/mean/p50/p95/max like
-    :class:`~repro.train.metrics.LatencyStats`.
+    :class:`~repro.train.metrics.LatencyStats`. Passing ``t`` (virtual
+    seconds) to :meth:`observe` additionally records a ``(t, value)``
+    pair for the windowed views in :mod:`repro.obs.timeseries`.
     """
 
     kind = "histogram"
-    __slots__ = ("_samples",)
+    __slots__ = ("_samples", "_stamps")
 
     def __init__(self, name: str, labels: LabelSet):
         super().__init__(name, labels)
         self._samples: list[float] = []
+        self._stamps: list[tuple[float, float]] = []
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, t: float | None = None) -> None:
         with self._lock:
             self._samples.append(float(value))
+            if t is not None:
+                self._stamps.append((float(t), float(value)))
 
     def observe_many(self, values: Iterable[float]) -> None:
         with self._lock:
             self._samples.extend(float(v) for v in values)
+
+    @property
+    def stamped(self) -> list[tuple[float, float]]:
+        """Timestamped ``(t, value)`` observations, in record order."""
+        return list(self._stamps)
 
     @property
     def count(self) -> int:
@@ -245,11 +268,15 @@ class MetricRegistry:
         for inst in other.series():
             labels = inst.label_dict
             if isinstance(inst, Counter):
-                self.counter(inst.name, **labels).inc(inst.value)
+                mine = self.counter(inst.name, **labels)
+                mine.inc(inst.value)
+                mine._marks.extend(inst._marks)
             elif isinstance(inst, Gauge):
                 self.gauge(inst.name, **labels).set(inst.value)
             elif isinstance(inst, Histogram):
-                self.histogram(inst.name, **labels).observe_many(inst._samples)
+                mine = self.histogram(inst.name, **labels)
+                mine.observe_many(inst._samples)
+                mine._stamps.extend(inst._stamps)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MetricRegistry({len(self)} series)"
@@ -265,8 +292,10 @@ class _NullInstrument:
     value = 0.0
     count = 0
     sum = 0.0
+    marks: list = []
+    stamped: list = []
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, t: float | None = None) -> None:
         pass
 
     def set(self, value: float) -> None:
@@ -275,7 +304,7 @@ class _NullInstrument:
     def add(self, amount: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, t: float | None = None) -> None:
         pass
 
     def observe_many(self, values: Iterable[float]) -> None:

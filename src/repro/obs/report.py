@@ -60,10 +60,10 @@ def collect_run_records(
     """Flatten a context's observability state into typed JSONL records.
 
     Always emits one ``record="context"`` snapshot; adds ``comm`` rows
-    (from :func:`~repro.obs.comm.profile_comm`), ``router`` rows, and
-    ``metric`` rows when the context carries them. Safe on any context —
-    an unobserved run just yields the context snapshot plus whatever the
-    trace/TrafficStats can support.
+    (from :func:`~repro.obs.comm.profile_comm`), ``router`` rows,
+    ``metric`` rows, and ``span`` rows when the context carries them.
+    Safe on any context — an unobserved run just yields the context
+    snapshot plus whatever the trace/TrafficStats can support.
     """
     records: list[dict[str, Any]] = [
         {"record": "context", **context.metrics_record()}
@@ -76,6 +76,9 @@ def collect_run_records(
     metrics = getattr(context, "metrics", None)
     if metrics is not None:
         records.extend(registry_records(metrics))
+    spans = getattr(context, "spans", None)
+    if spans is not None and getattr(spans, "enabled", False):
+        records.extend({"record": "span", **rec} for rec in spans.records())
     return records
 
 
@@ -290,6 +293,35 @@ def _section_slo(records: list[dict]) -> list[str]:
     return lines
 
 
+def _section_spans(records: list[dict]) -> list[str]:
+    spans = [r for r in records if r.get("record") == "span"]
+    if not spans:
+        return []
+    roots = [s for s in spans if s.get("parent_id") is None]
+    by_kind: dict[str, list[float]] = {}
+    for s in spans:
+        by_kind.setdefault(s.get("kind", "span"), []).append(
+            float(s.get("duration") or 0.0)
+        )
+    lines = [
+        "## Spans",
+        "",
+        f"{len(spans)} spans in {len(roots)} trees.",
+        "",
+        "| kind | spans | total virtual s | mean virtual s |",
+        "| --- | --- | --- | --- |",
+    ]
+    for kind in sorted(by_kind):
+        durs = by_kind[kind]
+        total = sum(durs)
+        lines.append(
+            f"| {kind} | {len(durs)} | {_fmt(total)} | "
+            f"{_fmt(total / len(durs))} |"
+        )
+    lines.append("")
+    return lines
+
+
 def _section_losses(records: list[dict]) -> list[str]:
     steps = [
         r for r in records
@@ -347,6 +379,7 @@ def build_report(
         _section_router,
         _section_metrics,
         _section_slo,
+        _section_spans,
         _section_losses,
         _section_events,
     ):

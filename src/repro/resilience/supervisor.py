@@ -390,6 +390,11 @@ class Supervisor:
                 start_step=start,
                 strategy=run_cfg.resolve_strategy().name,
             )
+            launch_span = session.spans.begin(
+                f"launch:{attempt}", clock, kind="launch",
+                attempt=attempt, world_size=world, ep_size=ep,
+                start_step=start,
+            )
             try:
                 res = run_spmd(
                     run_elastic_segment,
@@ -414,6 +419,10 @@ class Supervisor:
                 if partial_context is not None:
                     session.absorb(partial_context, clock_offset=clock)
                 clock += crashed_time
+                session.spans.end(
+                    launch_span, clock, outcome="failure",
+                    failure=classify_failure(exc),
+                )
                 lost_time += crashed_time
                 wasted = progress.completed_step - progress.durable_step
                 lost_steps += wasted
@@ -488,6 +497,10 @@ class Supervisor:
                 session.record_event(
                     "backoff", t=clock, seconds=backoff, consecutive=consecutive
                 )
+                session.spans.add(
+                    "backoff", clock - backoff, clock, parent=launch_span,
+                    kind="backoff", seconds=backoff, consecutive=consecutive,
+                )
                 session.metrics.counter("session_restarts").inc()
                 session.metrics.histogram("session_backoff_seconds").observe(backoff)
                 continue
@@ -498,6 +511,7 @@ class Supervisor:
             if res.context is not None:
                 session.absorb(res.context, clock_offset=clock)
             clock += res.simulated_time
+            session.spans.end(launch_span, clock, outcome="complete")
             useful_time += res.simulated_time
             seg = res.returns[0]
             for i, value in enumerate(seg["losses"]):

@@ -19,6 +19,7 @@ _ENGINE_EXPORTS = (
     "ServeConfig",
     "ServeResult",
     "build_requests",
+    "emit_request_spans",
     "run_sequential_baseline",
     "run_serving",
 )
@@ -38,6 +39,13 @@ _ROUTER_EXPORTS = (
     "ReplicaState",
 )
 
+#: The autoscaler only needs :mod:`repro.obs.timeseries`, but it lives in
+#: the fleet's import neighbourhood; lazy keeps the package entry cheap.
+_AUTOSCALER_EXPORTS = (
+    "Autoscaler",
+    "AutoscalerConfig",
+)
+
 __all__ = [
     "KVCache",
     "KVLayerView",
@@ -46,6 +54,7 @@ __all__ = [
     *_ENGINE_EXPORTS,
     *_FLEET_EXPORTS,
     *_ROUTER_EXPORTS,
+    *_AUTOSCALER_EXPORTS,
 ]
 
 
@@ -62,4 +71,8 @@ def __getattr__(name):
         from repro.serve import router
 
         return getattr(router, name)
+    if name in _AUTOSCALER_EXPORTS:
+        from repro.serve import autoscaler
+
+        return getattr(autoscaler, name)
     raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")

@@ -70,6 +70,12 @@ class ServeConfig:
     ep_size: int = 1
     num_requests: int = 16
     arrival_rate: float | None = None
+    #: Piecewise-constant load ramp: ``((t0, rate0), (t1, rate1), ...)``
+    #: — from virtual second ``ti`` arrivals draw at ``ratei`` req/s.
+    #: Mutually exclusive with ``arrival_rate``; segments must start at
+    #: t=0 and be strictly time-ordered. This is how a benchmark
+    #: saturates a fixed fleet mid-run (the autoscaler's raison d'être).
+    arrival_ramp: tuple[tuple[float, float], ...] | None = None
     prompt_len: int = 8
     prompt_len_max: int | None = None
     max_new_tokens: int = 16
@@ -154,6 +160,29 @@ class ServeConfig:
             raise ConfigError(
                 f"arrival_rate must be > 0 req/s, got {self.arrival_rate}"
             )
+        if self.arrival_ramp is not None:
+            if self.arrival_rate is not None:
+                raise ConfigError(
+                    "arrival_rate and arrival_ramp are mutually exclusive"
+                )
+            if not self.arrival_ramp:
+                raise ConfigError("arrival_ramp must have >= 1 segment")
+            if self.arrival_ramp[0][0] != 0.0:
+                raise ConfigError(
+                    f"arrival_ramp must start at t=0, got "
+                    f"{self.arrival_ramp[0][0]}"
+                )
+            for i, (t_seg, rate) in enumerate(self.arrival_ramp):
+                if rate <= 0:
+                    raise ConfigError(
+                        f"arrival_ramp rates must be > 0 req/s, got {rate}"
+                    )
+                if i > 0 and t_seg <= self.arrival_ramp[i - 1][0]:
+                    raise ConfigError(
+                        "arrival_ramp segment times must be strictly "
+                        f"increasing, got {t_seg} after "
+                        f"{self.arrival_ramp[i - 1][0]}"
+                    )
         if self.slo_ms is not None and self.slo_ms <= 0:
             raise ConfigError(f"slo_ms must be > 0, got {self.slo_ms}")
         if self.temperature <= 0:
@@ -214,6 +243,10 @@ class ServeResult:
     meta: dict = field(default_factory=dict)
     #: Requests rejected by admission-control load shedding.
     shed: int = 0
+    #: Admission timestamps keyed by rid (virtual seconds; absent for
+    #: requests that never reached a slot). Carried out of band so the
+    #: per-request ``records`` stay byte-identical to historical output.
+    admitted_at: dict[int, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -299,7 +332,22 @@ def build_requests(cfg: ServeConfig) -> list[Request]:
     """
     rng = np.random.default_rng(derive_seed(cfg.seed, "serve-workload"))
     n = cfg.num_requests
-    if cfg.arrival_rate is None:
+    if cfg.arrival_ramp is not None:
+        # Piecewise-constant Poisson: each interarrival draws at the rate
+        # active when the previous request landed. One exponential draw
+        # per request, same stream consumption as the fixed-rate path.
+        ramp = cfg.arrival_ramp
+        draws = rng.exponential(1.0, size=n)  # unit-rate; scaled below
+        arrivals = np.empty(n)
+        t = 0.0
+        for i in range(n):
+            rate = ramp[0][1]
+            for t_seg, seg_rate in ramp:
+                if t >= t_seg:
+                    rate = seg_rate
+            t += draws[i] / rate
+            arrivals[i] = t
+    elif cfg.arrival_rate is None:
         arrivals = np.zeros(n)
     else:
         arrivals = np.cumsum(rng.exponential(1.0 / cfg.arrival_rate, size=n))
@@ -560,6 +608,13 @@ def _serve_rank(
             (r.record() for r in sched.finished), key=lambda r: r["rid"]
         ),
         "token_lat": token_lat,
+        # Out-of-band admission times (segment-local virtual seconds) so
+        # span trees can place queue-wait without touching record().
+        "admitted": {
+            r.rid: r.t_admitted
+            for r in sched.finished
+            if r.t_admitted is not None
+        },
     }
 
 
@@ -604,9 +659,11 @@ def run_serving(
     ttft = LatencyStats("ttft")
     token_latency = LatencyStats("token")
     completed = evicted = decode_tokens = shed = 0
+    admitted_at: dict[int, float] = {}
     for ret in spmd.returns:
         records.extend(ret["records"])
         token_latency.extend(ret["token_lat"])
+        admitted_at.update(ret.get("admitted", {}))
         for rec in ret["records"]:
             decode_tokens += rec["generated"]
             if rec["state"] == "done":
@@ -644,12 +701,62 @@ def run_serving(
         requests=records,
         clocks=list(spmd.clocks),
         context=spmd.context,
+        admitted_at=admitted_at,
         meta={
             "ep_size": cfg.ep_size,
             "batching": cfg.batching,
             "overlap_chunks": cfg.overlap_chunks,
         },
     )
+
+
+def emit_request_spans(result: ServeResult) -> None:
+    """One causal span tree per request on ``result.context``'s tracer.
+
+    The fleet builds its own trees (retries, hedges, re-dispatch live
+    there); this is the single-engine counterpart for plain
+    :func:`run_serving` results — root ``request:{rid}`` over
+    ``[arrival, finish]`` with queue/prefill/decode children partitioning
+    it, satisfying :func:`repro.obs.spans.span_coverage`. No-op when the
+    run was not observed. Emitted in rid order so span ids are
+    deterministic.
+    """
+    context = result.context
+    if context is None or not context.spans.enabled:
+        return
+    spans = context.spans
+    for rec in result.requests:
+        arrival = rec["arrival"]
+        finish = rec["finish"]
+        adm = result.admitted_at.get(rec["rid"])
+        ends = [arrival] + [t for t in (finish, adm) if t is not None]
+        root_end = max(ends)
+        root = spans.add(
+            f"request:{rec['rid']}",
+            arrival,
+            root_end,
+            kind="request",
+            rid=rec["rid"],
+            state=rec["state"],
+            reason=rec["reason"],
+            tier=rec["tier"],
+        )
+        if adm is None:
+            continue  # shed before admission: the whole root is a gap
+        adm = min(max(arrival, adm), root_end)
+        if adm > arrival:
+            spans.add("queue", arrival, adm, parent=root, kind="queue")
+        spans.instant("admission", adm, parent=root, kind="admission",
+                      tier=rec["tier"])
+        if rec["state"] == "done" and rec["ttft"] is not None:
+            first = min(max(adm, arrival + rec["ttft"]), root_end)
+            spans.add("prefill", adm, first, parent=root, kind="prefill")
+            spans.add("decode", first, root_end, parent=root, kind="decode",
+                      tokens=rec["generated"])
+        elif finish is not None and finish > adm:
+            # Admitted then evicted mid-service (slo/cache/preempt).
+            spans.add("service", adm, min(finish, root_end), parent=root,
+                      kind="decode", reason=rec["reason"])
 
 
 def run_sequential_baseline(

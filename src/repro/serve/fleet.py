@@ -47,8 +47,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import CommunicatorError, ConfigError, ReproError
+from repro.obs.slo import SLOMonitor, SLOObjective, default_burn_windows
 from repro.resilience.backoff import BackoffPolicy
 from repro.resilience.supervisor import classify_failure
+from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
 from repro.serve.engine import ServeConfig, build_requests, run_serving
 from repro.serve.router import ReplicaRouter
 from repro.serve.scheduler import Request
@@ -84,10 +86,34 @@ class FleetConfig:
     backoff_cap: float = 8.0
     #: Safety valve on the dispatch loop (retries bound it in practice).
     max_rounds: int = 64
+    #: Metric-driven elastic capacity (None: fixed fleet). With a policy
+    #: set, dispatch becomes *windowed* — each round assigns only work
+    #: ready within ``dispatch_window_s`` — so scale decisions interleave
+    #: with arrivals instead of the whole workload landing in round one.
+    autoscale: AutoscalerConfig | None = None
+    #: Declarative SLOs monitored over the run; burn-rate transitions
+    #: land as ``slo_alert`` / ``slo_resolve`` events and spans.
+    slos: tuple[SLOObjective, ...] = ()
+    #: Error-budget horizon the burn-rate windows scale from.
+    slo_horizon_s: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if self.autoscale is not None and not (
+            self.autoscale.min_replicas
+            <= self.replicas
+            <= self.autoscale.max_replicas
+        ):
+            raise ConfigError(
+                f"initial replicas ({self.replicas}) must lie in the "
+                f"autoscale range [{self.autoscale.min_replicas}, "
+                f"{self.autoscale.max_replicas}]"
+            )
+        if self.slo_horizon_s <= 0:
+            raise ConfigError(
+                f"slo_horizon_s must be > 0, got {self.slo_horizon_s}"
+            )
         if self.mtbf is not None and self.mtbf <= 0:
             raise ConfigError(
                 f"mtbf must be > 0 virtual seconds, got {self.mtbf}"
@@ -151,6 +177,13 @@ class FleetResult:
     shed_by_tier: dict[int, int] = field(default_factory=dict)
     replica_stats: list[dict] = field(default_factory=list)
     context: Any = None
+    #: Autoscaler activity (zero on fixed fleets).
+    scale_ups: int = 0
+    scale_downs: int = 0
+    replicas_final: int = 0
+    #: Live :class:`~repro.obs.slo.SLOMonitor` objects (burn rates,
+    #: alert transitions) — feed to :func:`~repro.obs.slo.slo_report`.
+    slo: list = field(default_factory=list)
     meta: dict = field(default_factory=dict)
 
     @property
@@ -181,6 +214,10 @@ class FleetResult:
         for tier in sorted(self.shed_by_tier):
             record[f"shed_tier{tier}"] = self.shed_by_tier[tier]
         record.update(self.ttft.summary(prefix="ttft_"))
+        if self.config.autoscale is not None:
+            record["scale_ups"] = self.scale_ups
+            record["scale_downs"] = self.scale_downs
+            record["replicas_final"] = self.replicas_final
         return record
 
 
@@ -194,6 +231,9 @@ class _Flight:
     attempts: int = 0
     hedged: bool = False
     outcome: dict | None = None
+    #: Failed/speculative attempt intervals (global time) for span trees:
+    #: ``{"kind": crash|timeout|hedge, "t_start", "t_end", "replica", ...}``.
+    history: list[dict] = field(default_factory=list)
 
     @property
     def rid(self) -> int:
@@ -227,6 +267,136 @@ def _crash_fields(exc: ReproError) -> dict[str, Any]:
     return fields
 
 
+def _signal_time(out: dict) -> float:
+    """When an outcome becomes visible to windowed monitors (global time)."""
+    if out["state"] == "done" and out.get("first_token") is not None:
+        return out["first_token"]
+    if out.get("finish") is not None:
+        return out["finish"]
+    return out["arrival"]
+
+
+def _emit_request_spans(
+    session: RunContext, flights: list[_Flight], admitted_g: dict[int, float]
+) -> None:
+    """One causal span tree per request on the session tracer.
+
+    Root = the request's whole life ``[arrival, finish]``; on-path
+    children partition it (with explicit gaps) into failed attempts
+    (``retry``), queue wait, prefill, and decode — the accounting
+    invariant :func:`~repro.obs.spans.span_coverage` checks. Hedge
+    attempts run *concurrently* with the primary, so they attach as
+    off-path ``hedge`` children (winner/loser marked) excluded from the
+    sum. Emitted in rid order after the dispatch loop settles, so span
+    ids are deterministic.
+    """
+    spans = session.spans
+    if not spans.enabled:
+        return
+    for flight in sorted(flights, key=lambda f: f.rid):
+        out = flight.outcome
+        if out is None:  # pragma: no cover - loop guarantees resolution
+            continue
+        arrival = out["arrival"]
+        fails = sorted(
+            (h for h in flight.history if h["kind"] in ("crash", "timeout")),
+            key=lambda h: h["t_start"],
+        )
+        finish = out["finish"]
+        if out["state"] == "done":
+            # Root duration IS the recorded latency; failed attempts are
+            # clamped inside it below.
+            root_end = finish
+        else:
+            root_end = max(
+                [arrival]
+                + ([finish] if finish is not None else [])
+                + [h["t_end"] for h in fails]
+            )
+        root = spans.add(
+            f"request:{flight.rid}",
+            arrival,
+            root_end,
+            kind="request",
+            rid=flight.rid,
+            state=out["state"],
+            reason=out["reason"],
+            tier=out["tier"],
+            attempts=flight.attempts,
+            replica=out["replica"],
+            hedged=flight.hedged,
+        )
+        # On-path children must partition [arrival, root_end] without
+        # overlap. Crash re-dispatch can move *backwards* in virtual time
+        # (a survivor's segment may start before the failed segment's
+        # recorded end), so every interval is clamped monotonically: no
+        # child starts before the previous one ended or escapes the root.
+        cursor = arrival
+
+        def clamp(s: float, e: float) -> tuple[float, float]:
+            e = min(max(cursor, e), root_end)
+            return min(max(cursor, s), e), e
+
+        for i, h in enumerate(fails):
+            s, e = clamp(h["t_start"], h["t_end"])
+            spans.add(
+                "attempt", s, e,
+                parent=root,
+                kind="retry",
+                why=h["kind"],
+                replica=h["replica"],
+                attempt=i,
+            )
+            cursor = e
+        adm = admitted_g.get(flight.rid)
+        if out["state"] == "done":
+            first = out["first_token"]
+            if adm is None:
+                adm = out["dispatch"]
+            adm = min(max(cursor, adm), root_end)
+            if adm > cursor:
+                spans.add("queue", cursor, adm, parent=root, kind="queue",
+                          replica=out["replica"])
+            spans.instant("admission", adm, parent=root, kind="admission",
+                          tier=out["tier"], replica=out["replica"])
+            if first is not None:
+                first = min(max(adm, first), root_end)
+                spans.add("prefill", adm, first, parent=root, kind="prefill",
+                          replica=out["replica"])
+                spans.add("decode", first, root_end, parent=root,
+                          kind="decode", replica=out["replica"],
+                          tokens=out["generated"])
+            else:  # pragma: no cover - done implies a first token
+                spans.add("prefill", adm, root_end, parent=root,
+                          kind="prefill", replica=out["replica"])
+        elif finish is not None:
+            if adm is not None and adm > cursor:
+                # Admitted, then evicted mid-service (slo/cache/preempt).
+                adm = min(adm, root_end)
+                spans.add("queue", cursor, adm, parent=root, kind="queue",
+                          replica=out["replica"])
+                spans.add("service", adm, max(adm, finish), parent=root,
+                          kind="decode", replica=out["replica"],
+                          reason=out["reason"])
+            elif finish > cursor:
+                # Shed or evicted while still waiting for a slot.
+                spans.add("queue", cursor, finish, parent=root,
+                          kind="queue", reason=out["reason"])
+        for h in flight.history:
+            if h["kind"] != "hedge":
+                continue
+            spans.add(
+                "hedge",
+                h["t_start"],
+                h["t_end"],
+                parent=root,
+                kind="hedge",
+                replica=h["replica"],
+                winner=h.get("winner", False),
+                role=h.get("role", "hedge"),
+            )
+
+
 def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResult:
     """Serve the workload on ``replicas`` independent engine worlds.
 
@@ -258,9 +428,18 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
         None if cfg.request_timeout_ms is None else cfg.request_timeout_ms / 1e3
     )
 
+    monitors = [
+        SLOMonitor(obj, windows=default_burn_windows(cfg.slo_horizon_s))
+        for obj in cfg.slos
+    ]
+    scaler = Autoscaler(cfg.autoscale) if cfg.autoscale is not None else None
+    #: Global admission times per rid (fed by settle, read by span trees).
+    admitted_g: dict[int, float] = {}
+
     ttft = LatencyStats("ttft")
     token_latency = LatencyStats("token")
     crashes = retries = hedges = hedge_wins = timeouts = 0
+    scale_ups = scale_downs = 0
     fleet_clock = 0.0
 
     def run_segment(
@@ -346,7 +525,13 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
             )
             session.metrics.counter("fleet_retries", why=why).inc()
 
-    def settle(flight: _Flight, rec: dict, replica: int, seg_t0: float) -> None:
+    def settle(
+        flight: _Flight,
+        rec: dict,
+        replica: int,
+        seg_t0: float,
+        admitted_local: float | None = None,
+    ) -> None:
         """Fold one segment record into the flight's global outcome."""
         nonlocal timeouts
         dispatch_g = seg_t0 + rec["arrival"]
@@ -360,6 +545,10 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
                     service=service,
                 )
                 session.metrics.counter("fleet_timeouts").inc()
+                flight.history.append({
+                    "kind": "timeout", "replica": replica,
+                    "t_start": dispatch_g, "t_end": dispatch_g + timeout_s,
+                })
                 retry_or_evict(flight, dispatch_g + timeout_s, why="timeout")
                 return
             first_token_g = (
@@ -406,6 +595,8 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
                 "latency": None,
                 "hedged": flight.hedged,
             }
+        if admitted_local is not None and flight.outcome is not None:
+            admitted_g[flight.rid] = seg_t0 + admitted_local
 
     def run_hedges(candidates: list[_Flight]) -> None:
         """Speculatively re-dispatch slow completions to second replicas."""
@@ -437,24 +628,43 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
             saved_ready = {f.rid: f.ready for f in group}
             for flight in group:
                 flight.ready = flight.outcome["dispatch"] + hedge_s
-            result, _ = run_segment(replica, group, seg_t0)
+            result, seg_end = run_segment(replica, group, seg_t0)
             for flight in group:
                 flight.ready = saved_ready[flight.rid]
             if result is None:
-                continue  # hedge replica crashed; primaries stand
+                # Hedge replica crashed; primaries stand. The doomed
+                # speculative attempts still show in the span trees.
+                for flight in group:
+                    flight.history.append({
+                        "kind": "hedge", "replica": replica,
+                        "t_start": max(
+                            seg_t0, flight.outcome["dispatch"] + hedge_s
+                        ),
+                        "t_end": seg_end, "winner": False, "role": "hedge",
+                        "crashed": True,
+                    })
+                continue
             for rec in result.requests:
                 flight = by_rid[rec["rid"]]
                 if rec["state"] != "done":
                     continue
                 finish_g = seg_t0 + rec["finish"]
+                dispatch_g = seg_t0 + rec["arrival"]
                 if finish_g < flight.outcome["finish"]:
                     hedge_wins += 1
                     session.metrics.counter("fleet_hedge_wins").inc()
-                    dispatch_g = seg_t0 + rec["arrival"]
                     first_token_g = (
                         None if rec["ttft"] is None
                         else dispatch_g + rec["ttft"]
                     )
+                    # The beaten primary becomes the off-path attempt.
+                    flight.history.append({
+                        "kind": "hedge",
+                        "replica": flight.outcome["replica"],
+                        "t_start": flight.outcome["dispatch"],
+                        "t_end": flight.outcome["finish"],
+                        "winner": False, "role": "primary",
+                    })
                     flight.outcome.update(
                         replica=replica,
                         dispatch=dispatch_g,
@@ -466,8 +676,27 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
                         ),
                         latency=finish_g - flight.template.arrival,
                     )
+                    adm = result.admitted_at.get(flight.rid)
+                    if adm is not None:
+                        admitted_g[flight.rid] = seg_t0 + adm
+                    # Explicit winner marker (the on-path prefill/decode
+                    # spans carry the same interval).
+                    flight.history.append({
+                        "kind": "hedge", "replica": replica,
+                        "t_start": dispatch_g, "t_end": finish_g,
+                        "winner": True, "role": "hedge",
+                    })
+                else:
+                    flight.history.append({
+                        "kind": "hedge", "replica": replica,
+                        "t_start": dispatch_g, "t_end": finish_g,
+                        "winner": False, "role": "hedge",
+                    })
 
     rounds = 0
+    dispatch_clock = 0.0
+    slo_clock = 0.0
+    resolved_rids: set[int] = set()
     while any(f.outcome is None for f in flights):
         rounds += 1
         if rounds > cfg.max_rounds:
@@ -478,6 +707,17 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
             (f for f in flights if f.outcome is None),
             key=lambda f: (f.ready, f.rid),
         )
+        if scaler is not None:
+            # Windowed dispatch: assign only work ready inside the next
+            # dispatch window, so scale decisions interleave with the
+            # arrival process instead of round one swallowing the ramp.
+            horizon = dispatch_clock + cfg.autoscale.dispatch_window_s
+            batch = [f for f in pending if f.ready <= horizon]
+            if not batch:
+                dispatch_clock = min(f.ready for f in pending)
+                continue
+            dispatch_clock = horizon
+            pending = batch
         assignment: dict[int, list[_Flight]] = {}
         for flight in pending:
             choice = router.pick(flight.ready)
@@ -495,11 +735,16 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
             result, end_t = run_segment(replica, group, seg_t0)
             if result is None:
                 for flight in group:
+                    flight.history.append({
+                        "kind": "crash", "replica": replica,
+                        "t_start": max(seg_t0, flight.ready), "t_end": end_t,
+                    })
                     retry_or_evict(flight, end_t, why="crash")
                 continue
             for rec in result.requests:
                 flight = by_rid[rec["rid"]]
-                settle(flight, rec, replica, seg_t0)
+                settle(flight, rec, replica, seg_t0,
+                       admitted_local=result.admitted_at.get(rec["rid"]))
                 if flight.outcome is not None and flight.outcome["state"] == "done":
                     round_done.append(flight)
             token_latency.extend(result.token_latency.samples)
@@ -511,6 +756,93 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
             ]
             if candidates:
                 run_hedges(candidates)
+
+        # ---- windowed signals + control decisions, once per round ---- #
+        newly = sorted(
+            (f for f in flights
+             if f.outcome is not None and f.rid not in resolved_rids),
+            key=lambda f: (_signal_time(f.outcome), f.rid),
+        )
+        for flight in newly:
+            resolved_rids.add(flight.rid)
+            out = flight.outcome
+            t_sig = _signal_time(out)
+            if out["state"] == "done" and out["ttft"] is not None:
+                session.metrics.histogram(
+                    "fleet_ttft_seconds", tier=out["tier"]
+                ).observe(out["ttft"], t=t_sig)
+                if scaler is not None:
+                    scaler.observe_ttft(t_sig, out["ttft"], out["tier"])
+                for mon in monitors:
+                    mon.observe(t_sig, out["ttft"], tier=out["tier"])
+            else:
+                # Shed / evicted requests burn the error budget outright.
+                for mon in monitors:
+                    mon.observe(t_sig, float("inf"), tier=out["tier"])
+            # Evaluate at the signal's own timestamp (monotone-clamped):
+            # burn windows are narrow relative to a round, so waiting for
+            # the round's end would inspect them after they drained.
+            slo_clock = max(slo_clock, t_sig)
+            for mon in monitors:
+                mon.evaluate(slo_clock, session)
+        router.emit(session.metrics, fleet_clock)
+        slo_clock = max(slo_clock, fleet_clock)
+        for mon in monitors:
+            mon.evaluate(slo_clock, session)
+        if scaler is not None:
+            backlog = sum(1 for f in flights if f.outcome is None)
+            decision = scaler.decide(fleet_clock, router.active_count, backlog)
+            if decision["action"] == "up":
+                state = router.add_replica(
+                    free_at=fleet_clock + cfg.autoscale.spawn_delay_s
+                )
+                while len(faults) < len(router.states):
+                    r = len(faults)
+                    faults.append(
+                        FaultModel(
+                            seed=derive_seed(serve.seed, "fleet-replica", r),
+                            mtbf=cfg.mtbf,
+                        )
+                        if cfg.mtbf is not None
+                        else None
+                    )
+                scale_ups += 1
+                session.record_event(
+                    "scale_up", t=fleet_clock, replica=state.index,
+                    reason=decision["reason"], ttft_p95=decision["ttft_p95"],
+                    backlog=backlog, replicas=router.active_count,
+                )
+                session.spans.instant(
+                    f"scale_up:{state.index}", fleet_clock, kind="autoscale",
+                    replica=state.index, reason=decision["reason"],
+                    replicas=router.active_count,
+                )
+                session.metrics.counter("fleet_scale_up").inc(t=fleet_clock)
+            elif decision["action"] == "down":
+                cand = router.drain_candidate()
+                if (
+                    cand is not None
+                    and router.active_count > cfg.autoscale.min_replicas
+                ):
+                    router.drain(cand.index)
+                    scale_downs += 1
+                    session.record_event(
+                        "scale_down", t=fleet_clock, replica=cand.index,
+                        reason=decision["reason"],
+                        ttft_p95=decision["ttft_p95"], backlog=backlog,
+                        replicas=router.active_count,
+                    )
+                    session.spans.instant(
+                        f"scale_down:{cand.index}", fleet_clock,
+                        kind="autoscale", replica=cand.index,
+                        reason=decision["reason"],
+                        replicas=router.active_count,
+                    )
+                    session.metrics.counter("fleet_scale_down").inc(
+                        t=fleet_clock
+                    )
+
+    _emit_request_spans(session, flights, admitted_g)
 
     records = sorted((f.outcome for f in flights), key=lambda r: r["rid"])
     completed = evicted = shed = decode_tokens = 0
@@ -539,6 +871,9 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
     goodput = decode_tokens / fleet_clock if fleet_clock > 0 else 0.0
     registry.gauge("fleet_goodput_tok_s").set(goodput)
     registry.gauge("fleet_makespan_seconds").set(fleet_clock)
+    for mon in monitors:
+        # Close out any alert still firing at end of run.
+        mon.evaluate(fleet_clock, session)
 
     return FleetResult(
         config=cfg,
@@ -563,10 +898,15 @@ def run_fleet_serving(cfg: FleetConfig, network: Any | None = None) -> FleetResu
                 "crashes": s.crashes,
                 "busy_time": s.busy_time,
                 "free_at": s.free_at,
+                "draining": s.draining,
             }
             for s in router.states
         ],
         context=session,
+        scale_ups=scale_ups,
+        scale_downs=scale_downs,
+        replicas_final=router.active_count,
+        slo=monitors,
         meta={
             "replicas": cfg.replicas,
             "ep_size": serve.ep_size,

@@ -46,6 +46,9 @@ class ReplicaState:
     completed: int = 0
     #: Virtual seconds of segment makespan this replica has executed.
     busy_time: float = 0.0
+    #: Draining replicas finish outstanding work but get no new dispatch
+    #: (the autoscaler's scale-down mechanism).
+    draining: bool = False
     meta: dict = field(default_factory=dict)
 
     @property
@@ -89,10 +92,13 @@ class ReplicaRouter:
     ) -> ReplicaState | None:
         """The replica estimated to serve a request ready at ``ready`` first.
 
-        ``exclude`` removes candidates (a hedge never re-uses the primary).
-        Returns None when every replica is excluded.
+        ``exclude`` removes candidates (a hedge never re-uses the primary);
+        draining replicas are never candidates. Returns None when every
+        replica is excluded.
         """
-        candidates = [s for s in self.states if s.index not in exclude]
+        candidates = [
+            s for s in self.states if s.index not in exclude and not s.draining
+        ]
         if not candidates:
             return None
         return min(
@@ -141,6 +147,83 @@ class ReplicaRouter:
         """Earliest down-until among replicas still in backoff (inf if none)."""
         pending = [s.down_until for s in self.states if s.down_until > now]
         return min(pending) if pending else float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Elastic fleet membership (autoscaler mechanism)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active_count(self) -> int:
+        """Replicas currently eligible for dispatch (not draining)."""
+        return sum(1 for s in self.states if not s.draining)
+
+    def add_replica(self, free_at: float = 0.0) -> ReplicaState:
+        """Grow the fleet by one replica, first dispatchable at ``free_at``.
+
+        ``free_at`` models provisioning: a replica spawned at virtual
+        time ``t`` with spawn delay ``d`` joins with ``free_at = t + d``.
+        Un-drains and returns an existing draining replica instead when
+        one exists (cheapest capacity: it is already provisioned).
+        """
+        for state in self.states:
+            if state.draining:
+                state.draining = False
+                return state
+        state = ReplicaState(index=len(self.states), free_at=free_at)
+        self.states.append(state)
+        return state
+
+    def drain(self, replica: int) -> ReplicaState:
+        """Mark ``replica`` draining: it finishes its work, gets no more."""
+        state = self.states[replica]
+        state.draining = True
+        return state
+
+    def drain_candidate(self) -> ReplicaState | None:
+        """The replica to drain on scale-down: idle, healthy, highest index.
+
+        Prefers replicas with nothing outstanding so a drain never
+        strands in-flight work; returns None when every non-draining
+        replica is busy (the caller holds and retries next round).
+        """
+        idle = [
+            s for s in self.states
+            if not s.draining and s.outstanding == 0
+        ]
+        if len(idle) < 1 or self.active_count <= 1:
+            return None
+        return max(idle, key=lambda s: s.index)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def emit(self, registry, now: float) -> None:
+        """Export per-replica state as labeled gauges into ``registry``.
+
+        Called by the fleet each dispatch round, so
+        :func:`~repro.obs.export.to_prometheus` and run reports see the
+        router's view: outstanding load, availability, health, drain
+        status, plus the fleet-wide learned mean service time.
+        """
+        if not getattr(registry, "enabled", False):
+            return
+        for s in self.states:
+            tag = str(s.index)
+            registry.gauge("fleet_router_outstanding", replica=tag).set(s.outstanding)
+            registry.gauge("fleet_router_free_at", replica=tag).set(s.free_at)
+            registry.gauge("fleet_router_down_until", replica=tag).set(s.down_until)
+            registry.gauge("fleet_router_healthy", replica=tag).set(
+                1.0 if s.healthy(now) else 0.0
+            )
+            registry.gauge("fleet_router_draining", replica=tag).set(
+                1.0 if s.draining else 0.0
+            )
+            registry.gauge("fleet_router_crashes", replica=tag).set(s.crashes)
+            registry.gauge("fleet_router_completed", replica=tag).set(s.completed)
+        registry.gauge("fleet_router_mean_service").set(self.mean_service)
+        registry.gauge("fleet_router_replicas").set(len(self.states))
+        registry.gauge("fleet_router_active_replicas").set(self.active_count)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

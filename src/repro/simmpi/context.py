@@ -24,6 +24,7 @@ from repro.errors import ConfigError
 from repro.obs.flight import DEFAULT_LIMIT, FlightRecorder
 from repro.obs.registry import NULL_REGISTRY, MetricRegistry, NullRegistry
 from repro.obs.router import RouterTelemetry
+from repro.obs.spans import NULL_TRACER, NullTracer, Tracer
 from repro.simmpi.stats import TrafficStats
 from repro.simmpi.trace import TraceEvent, write_chrome_trace
 
@@ -67,6 +68,12 @@ class RunContext:
         )
         #: Per-layer per-step MoE router telemetry (None when disabled).
         self.router: RouterTelemetry | None = RouterTelemetry() if observe else None
+        #: Causal span trees (requests, launches, scale decisions); the
+        #: shared no-op unless tracing or observing, so span emission
+        #: sites never branch and tracing-off output is unchanged.
+        self.spans: Tracer | NullTracer = (
+            Tracer() if (trace or observe) else NULL_TRACER
+        )
         #: Always-on bounded ring of recent per-rank activity.
         self.flight = FlightRecorder(limit=flight_limit)
 
@@ -154,6 +161,7 @@ class RunContext:
         self.metrics.merge(other.metrics)
         if self.router is not None and other.router is not None:
             self.router.absorb(other.router)
+        self.spans.absorb(other.spans, clock_offset=clock_offset)
         self.flight.absorb(other.flight, clock_offset=clock_offset)
 
     # ------------------------------------------------------------------ #
@@ -181,6 +189,7 @@ class RunContext:
             "observing": self.observing,
             "num_metric_series": len(self.metrics),
             "num_router_samples": len(self.router) if self.router else 0,
+            "num_spans": len(self.spans),
         }
 
     def metrics_record(self) -> dict[str, Any]:
